@@ -1,0 +1,195 @@
+package softbarrier
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softbarrier/internal/stats"
+	"softbarrier/internal/topology"
+)
+
+// AdaptiveBarrier is a combining-tree barrier that re-derives its own tree
+// degree at run time from the measured load imbalance — the adaptation the
+// paper's conclusion proposes ("barriers that would adapt their degree at
+// run time to minimize their synchronization delay").
+//
+// Every episode it measures the spread of participant arrival times and
+// folds it into an exponentially weighted estimate of σ. Every Interval
+// episodes the participant releasing the barrier re-evaluates the analytic
+// model (OptimalDegree) and, if the recommended degree changed, rebuilds
+// the counter tree before releasing the episode — a point at which no
+// participant can be touching the counters.
+type AdaptiveBarrier struct {
+	p int
+	// Interval is the number of episodes between degree re-evaluations.
+	interval int
+	// tc is the assumed counter update cost fed to the model.
+	tc float64
+
+	relMu   sync.Mutex
+	relCond *sync.Cond
+	gen     uint64
+	myGen   []paddedU64
+
+	state   atomic.Pointer[adaptiveState] // replaced only before a release
+	arrival []paddedI64
+
+	episodes    int
+	sigma       float64 // EWMA of per-episode arrival spread, seconds
+	adaptations uint64
+	now         func() int64 // nanosecond clock, replaceable in tests
+}
+
+// adaptiveState is the rebuildable part: a topology plus its counters.
+type adaptiveState struct {
+	tree     *topology.Tree
+	counters []treeCounter
+	degree   int
+}
+
+// paddedI64 avoids false sharing between per-participant arrival slots.
+type paddedI64 struct {
+	v int64
+	_ [56]byte
+}
+
+// sigmaEWMAWeight is the weight of the newest episode's spread in the σ
+// estimate.
+const sigmaEWMAWeight = 0.2
+
+// NewAdaptive returns an adaptive barrier for p participants, starting at
+// degree 4 (the classic simultaneous-arrival optimum), re-evaluating every
+// interval episodes (≥1), assuming counter update cost tc seconds (0
+// selects the paper's 20µs — pass a measured value for real deployments).
+func NewAdaptive(p, interval int, tc float64) *AdaptiveBarrier {
+	if p < 1 {
+		panic("softbarrier: need at least one participant")
+	}
+	if interval < 1 {
+		panic("softbarrier: adaptation interval must be ≥ 1")
+	}
+	if tc == 0 {
+		tc = 20e-6
+	}
+	if tc < 0 {
+		panic("softbarrier: negative counter update cost")
+	}
+	b := &AdaptiveBarrier{
+		p:        p,
+		interval: interval,
+		tc:       tc,
+		myGen:    make([]paddedU64, p),
+		arrival:  make([]paddedI64, p),
+		now:      func() int64 { return time.Now().UnixNano() },
+	}
+	b.relCond = sync.NewCond(&b.relMu)
+	b.state.Store(newAdaptiveState(p, 4))
+	return b
+}
+
+func newAdaptiveState(p, degree int) *adaptiveState {
+	tree := topology.NewClassic(p, degree)
+	st := &adaptiveState{tree: tree, counters: make([]treeCounter, len(tree.Counters)), degree: degree}
+	for i := range st.counters {
+		st.counters[i].fanIn = tree.Counters[i].FanIn()
+	}
+	return st
+}
+
+// Participants returns P.
+func (b *AdaptiveBarrier) Participants() int { return b.p }
+
+// Degree returns the current tree degree.
+func (b *AdaptiveBarrier) Degree() int { return b.state.Load().degree }
+
+// Sigma returns the current arrival-spread estimate in seconds.
+func (b *AdaptiveBarrier) Sigma() float64 {
+	b.relMu.Lock()
+	defer b.relMu.Unlock()
+	return b.sigma
+}
+
+// Adaptations returns how many times the barrier has rebuilt its tree.
+func (b *AdaptiveBarrier) Adaptations() uint64 { return atomic.LoadUint64(&b.adaptations) }
+
+// Wait blocks until all participants arrive.
+func (b *AdaptiveBarrier) Wait(id int) {
+	b.Arrive(id)
+	b.Await(id)
+}
+
+// Arrive records the arrival time and performs the counter ascent,
+// adapting and releasing the episode if id completes the root.
+func (b *AdaptiveBarrier) Arrive(id int) {
+	checkID(id, b.p)
+	b.relMu.Lock()
+	b.myGen[id].v = b.gen
+	b.relMu.Unlock()
+	b.arrival[id].v = b.now()
+
+	st := b.state.Load()
+	c := st.tree.FirstCounter(id)
+	for c != topology.NoCounter {
+		tc := &st.counters[c]
+		tc.mu.Lock()
+		tc.count++
+		last := tc.count == tc.fanIn
+		if last {
+			tc.count = 0
+		}
+		tc.mu.Unlock()
+		if !last {
+			return
+		}
+		c = st.tree.Counters[c].Parent
+	}
+	b.releaseAndMaybeAdapt(st)
+}
+
+// releaseAndMaybeAdapt runs on the participant that completed the root: a
+// quiescent point for the counters (every participant has finished its
+// ascent). It updates the σ estimate, rebuilds the tree if due, and
+// releases the episode.
+func (b *AdaptiveBarrier) releaseAndMaybeAdapt(st *adaptiveState) {
+	b.relMu.Lock()
+	spread := b.arrivalSpread()
+	if b.episodes == 0 {
+		b.sigma = spread
+	} else {
+		b.sigma = (1-sigmaEWMAWeight)*b.sigma + sigmaEWMAWeight*spread
+	}
+	b.episodes++
+	if b.episodes%b.interval == 0 {
+		if d := OptimalDegree(b.p, b.sigma, b.tc); d != st.degree {
+			b.state.Store(newAdaptiveState(b.p, d))
+			atomic.AddUint64(&b.adaptations, 1)
+		}
+	}
+	b.gen++
+	b.relCond.Broadcast()
+	b.relMu.Unlock()
+}
+
+// arrivalSpread returns the sample standard deviation of this episode's
+// arrival times in seconds.
+func (b *AdaptiveBarrier) arrivalSpread() float64 {
+	xs := make([]float64, b.p)
+	for i := range xs {
+		xs[i] = float64(b.arrival[i].v) * 1e-9
+	}
+	return stats.StdDev(xs)
+}
+
+// Await blocks participant id until the episode it arrived in completes.
+func (b *AdaptiveBarrier) Await(id int) {
+	checkID(id, b.p)
+	mine := b.myGen[id].v
+	b.relMu.Lock()
+	for b.gen == mine {
+		b.relCond.Wait()
+	}
+	b.relMu.Unlock()
+}
+
+var _ PhasedBarrier = (*AdaptiveBarrier)(nil)

@@ -1,0 +1,40 @@
+package softbarrier
+
+// Barrier synchronizes a fixed set of participants, numbered 0..P−1. Wait
+// blocks participant id until every participant has called Wait for the
+// current episode, then all calls return and the barrier is ready for the
+// next episode. Each participant must call Wait exactly once per episode,
+// and an id must not be used by two goroutines concurrently.
+type Barrier interface {
+	// Wait blocks until all participants of the episode have arrived.
+	Wait(id int)
+	// Participants returns the number of participants P.
+	Participants() int
+}
+
+// PhasedBarrier is a barrier whose episode is split into an arrival phase
+// and an await phase: Gupta's fuzzy barrier. Arrive announces that
+// participant id has reached the barrier without blocking; Await blocks
+// until the episode completes. Work placed between the two calls executes
+// in the barrier's slack and hides load imbalance.
+//
+// Wait(id) is always equivalent to Arrive(id) followed by Await(id).
+// Arrive/Await pairs must alternate per participant, and must not be mixed
+// with Wait within the same episode for the same participant.
+type PhasedBarrier interface {
+	Barrier
+	// Arrive announces arrival of participant id without blocking for the
+	// episode.
+	Arrive(id int)
+	// Await blocks participant id until the episode it arrived in
+	// completes.
+	Await(id int)
+}
+
+// checkID panics when a participant id is out of range, which would
+// silently corrupt counter state otherwise.
+func checkID(id, p int) {
+	if id < 0 || id >= p {
+		panic("softbarrier: participant id out of range")
+	}
+}

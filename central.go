@@ -1,0 +1,63 @@
+package softbarrier
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// CentralBarrier is the classic sense-reversing counter barrier: one shared
+// counter plus a global sense flag. Its arrival cost is O(P) serialized
+// updates, which is exactly the contention the combining trees exist to
+// avoid — but when arrivals are spread much wider than the update time, the
+// paper shows this flat barrier is in fact optimal (Fig. 3, large σ).
+type CentralBarrier struct {
+	p     int
+	count atomic.Int64
+	sense atomic.Uint64
+	local []paddedU64 // per-participant sense, padded against false sharing
+}
+
+// paddedU64 avoids false sharing between per-participant slots.
+type paddedU64 struct {
+	v uint64
+	_ [56]byte
+}
+
+// NewCentral returns a sense-reversing barrier for p participants.
+func NewCentral(p int) *CentralBarrier {
+	if p < 1 {
+		panic("softbarrier: need at least one participant")
+	}
+	return &CentralBarrier{p: p, local: make([]paddedU64, p)}
+}
+
+// Participants returns P.
+func (b *CentralBarrier) Participants() int { return b.p }
+
+// Wait blocks until all participants arrive.
+func (b *CentralBarrier) Wait(id int) {
+	b.Arrive(id)
+	b.Await(id)
+}
+
+// Arrive increments the central counter; the last arriver flips the sense,
+// releasing the episode.
+func (b *CentralBarrier) Arrive(id int) {
+	checkID(id, b.p)
+	b.local[id].v = b.sense.Load()
+	if b.count.Add(1) == int64(b.p) {
+		b.count.Store(0)
+		b.sense.Add(1)
+	}
+}
+
+// Await spins (yielding to the scheduler) until the sense flips.
+func (b *CentralBarrier) Await(id int) {
+	checkID(id, b.p)
+	mine := b.local[id].v
+	for b.sense.Load() == mine {
+		runtime.Gosched()
+	}
+}
+
+var _ PhasedBarrier = (*CentralBarrier)(nil)

@@ -1,0 +1,127 @@
+// Command barriersim simulates one barrier configuration and reports its
+// synchronization-delay statistics.
+//
+// Usage:
+//
+//	barriersim -p 4096 -degree 16 -sigma 0.25ms [-tree mcs] [-dynamic]
+//	           [-slack 4ms] [-episodes 200] [-warmup 20] [-tc 20us] [-seed 1]
+//
+// Durations accept Go syntax (e.g. 250us, 0.25ms).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"softbarrier/internal/barriersim"
+	"softbarrier/internal/model"
+	"softbarrier/internal/stats"
+	"softbarrier/internal/topology"
+	"softbarrier/internal/trace"
+	"softbarrier/internal/workload"
+)
+
+func main() {
+	var (
+		p        = flag.Int("p", 4096, "number of processors")
+		degree   = flag.Int("degree", 4, "combining tree degree")
+		sigma    = flag.Duration("sigma", 250*time.Microsecond, "arrival time standard deviation")
+		tc       = flag.Duration("tc", 20*time.Microsecond, "counter update time")
+		treeKind = flag.String("tree", "classic", "tree kind: classic | mcs | ring")
+		rings    = flag.Int("rings", 2, "number of rings for -tree ring")
+		dynamic  = flag.Bool("dynamic", false, "enable dynamic placement")
+		slack    = flag.Duration("slack", 0, "fuzzy barrier slack (0 = plain barrier)")
+		episodes = flag.Int("episodes", 200, "measured episodes")
+		warmup   = flag.Int("warmup", 20, "warm-up episodes")
+		seed     = flag.Uint64("seed", 1, "PRNG seed")
+		showTr   = flag.Bool("trace", false, "print the final episode's counter timeline")
+		traceIn  = flag.String("tracefile", "", "replay work times from a trace file (see cmd/tracegen) instead of -sigma")
+	)
+	flag.Parse()
+
+	var w workload.Workload
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		tr, err := workload.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if tr.P() != *p {
+			*p = tr.P()
+		}
+		w = tr
+	}
+
+	var tree *topology.Tree
+	switch *treeKind {
+	case "classic":
+		tree = topology.NewClassic(*p, *degree)
+	case "mcs":
+		tree = topology.NewMCS(*p, *degree)
+	case "ring":
+		sizes := make([]int, *rings)
+		for i := range sizes {
+			sizes[i] = *p / *rings
+			if i < *p%*rings {
+				sizes[i]++
+			}
+		}
+		tree = topology.NewRing(sizes, *degree)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tree kind %q\n", *treeKind)
+		os.Exit(2)
+	}
+
+	cfg := barriersim.Config{Tc: tc.Seconds(), Dynamic: *dynamic}
+	if w == nil {
+		w = workload.IID{N: *p, Dist: stats.Normal{Sigma: sigma.Seconds()}}
+	}
+	it := workload.NewIterator(w, slack.Seconds(), *seed)
+	sim := barriersim.New(tree, cfg)
+	var rec *trace.Recorder
+	if *showTr {
+		rec = &trace.Recorder{Keep: 1}
+		sim.SetTracer(rec)
+	}
+	rr := sim.Run(it, *warmup, *episodes)
+
+	st := tree.ShapeStats()
+	fmt.Printf("tree: %s degree=%d levels=%d counters=%d mean depth=%.2f\n",
+		tree.Kind, tree.Degree, tree.Levels, st.Counters, st.MeanDepth)
+	if *traceIn != "" {
+		fmt.Printf("workload: %v from %s, slack=%v, %d episodes after %d warm-up\n",
+			w, *traceIn, *slack, *episodes, *warmup)
+	} else {
+		fmt.Printf("workload: σ=%v (%.1f·t_c), slack=%v, %d episodes after %d warm-up\n",
+			*sigma, sigma.Seconds()/tc.Seconds(), *slack, *episodes, *warmup)
+	}
+	fmt.Printf("mean sync delay: %v (update %v + contention %v)\n",
+		dur(rr.MeanSync), dur(rr.MeanUpdate), dur(rr.MeanContention))
+	fmt.Printf("p95 sync delay:  %v\n", dur(stats.Percentile(rr.SyncDelays, 95)))
+	fmt.Printf("last proc depth: %.2f   comm overhead: %.3f   swaps/episode: %.2f\n",
+		rr.MeanLastDepth, rr.CommOverhead, rr.MeanSwaps)
+
+	if est, err := model.EstimateDelay(model.Params{P: *p, Degree: *degree, Sigma: sigma.Seconds(), Tc: tc.Seconds()}); err == nil {
+		fmt.Printf("analytic model:  %v\n", dur(est))
+	} else {
+		fmt.Printf("analytic model:  n/a (%v)\n", err)
+	}
+
+	if rec != nil {
+		if e := rec.Last(); e != nil {
+			fmt.Printf("\nfinal episode timeline (one lane per counter):\n%s\n%s", e.Timeline(100), e.Summary())
+		}
+	}
+}
+
+func dur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second)).Round(100 * time.Nanosecond)
+}

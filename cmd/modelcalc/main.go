@@ -1,0 +1,71 @@
+// Command modelcalc prints the paper's analytic model (Algorithm 1) step
+// by step for one configuration: the subset partition along the last
+// processor's path, each subset's arrival and release times, and the
+// resulting synchronization delay — the worked example of §3.
+//
+// Usage:
+//
+//	modelcalc -p 4096 -degree 4 -sigma 0.25ms [-tc 20us]
+//	modelcalc -p 4096 -sigma 0.25ms -sweep      # all full-tree degrees
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"softbarrier/internal/model"
+)
+
+func main() {
+	var (
+		p      = flag.Int("p", 4096, "number of processors (must be degree^L)")
+		degree = flag.Int("degree", 4, "combining tree degree")
+		sigma  = flag.Duration("sigma", 250*time.Microsecond, "arrival time standard deviation")
+		tc     = flag.Duration("tc", 20*time.Microsecond, "counter update time")
+		sweep  = flag.Bool("sweep", false, "evaluate every full-tree degree instead of one")
+	)
+	flag.Parse()
+
+	if *sweep {
+		fmt.Printf("analytic sweep: p=%d σ=%v t_c=%v\n\n", *p, *sigma, *tc)
+		fmt.Printf("%8s %7s %14s\n", "degree", "levels", "delay")
+		for _, e := range model.EstimateSweep(*p, sigma.Seconds(), tc.Seconds()) {
+			fmt.Printf("%8d %7d %14v\n", e.Degree, e.Levels, dur(e.Delay))
+		}
+		best := model.EstimateOptimalDegree(*p, sigma.Seconds(), tc.Seconds())
+		fmt.Printf("\nrecommended degree: %d (estimated delay %v)\n", best.Degree, dur(best.Delay))
+		return
+	}
+
+	b, err := model.Estimate(model.Params{P: *p, Degree: *degree, Sigma: sigma.Seconds(), Tc: tc.Seconds()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("Algorithm 1: p=%d, degree=%d, L=%d levels, σ=%v, t_c=%v\n\n", *p, *degree, b.Levels, *sigma, *tc)
+	fmt.Printf("%8s %10s %14s %14s %14s\n", "subset", "|S_l|", "P_before", "T_arr", "T_rel")
+	for l := 0; l < b.Levels; l++ {
+		pb := model.PBefore(*degree, l, b.Levels)
+		pbs := fmt.Sprintf("%.4f", pb)
+		if l == b.Levels-1 {
+			pbs += "→mid" // Algorithm 1's earliest-subset substitution
+		}
+		fmt.Printf("%8s %10d %14s %14v %14v\n",
+			fmt.Sprintf("S_%d", l), model.SubsetSize(*degree, l), pbs,
+			dur(b.SubsetArrival[l]), dur(b.SubsetRelease[l]))
+	}
+	fmt.Printf("%8s %10d %14s %14v %14v\n", "last", 1, "(Eq. 5)",
+		dur(b.LastArrival), dur(b.LastRelease))
+	fmt.Printf("\nsynchronization delay (Eq. 8): %v", dur(b.Delay))
+	if b.CriticalSubset >= 0 {
+		fmt.Printf("   (critical: subset S_%d)\n", b.CriticalSubset)
+	} else {
+		fmt.Printf("   (critical: the last processor's own path)\n")
+	}
+}
+
+func dur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second)).Round(10 * time.Nanosecond)
+}

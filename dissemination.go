@@ -1,0 +1,82 @@
+package softbarrier
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// DisseminationBarrier is the classic dissemination barrier (Hensgen,
+// Finkel & Manber): ⌈log₂ p⌉ rounds in which participant i signals
+// participant (i + 2^round) mod p and waits for a signal from
+// (i − 2^round) mod p. No participant ever spins on a remote location for
+// long, and there is no combining tree to tune — it is the standard
+// baseline the combining-tree literature (including the MCS paper the
+// dynamic-placement barrier builds on) compares against.
+//
+// Under load imbalance its synchronization delay is Θ(log p) rounds
+// *after the last arrival* regardless of the arrival spread, which is why
+// the paper's imbalance-aware combining trees can beat it: they collapse
+// toward O(1) for the late processor.
+type DisseminationBarrier struct {
+	p      int
+	rounds int
+	// flags[id][round][parity] is the arrival flag signalled to id.
+	flags [][][2]atomic.Uint32
+	// parity/sense are per-participant episode state.
+	state []dissState
+}
+
+type dissState struct {
+	parity int
+	sense  uint32
+	_      [48]byte
+}
+
+// NewDissemination returns a dissemination barrier for p participants.
+func NewDissemination(p int) *DisseminationBarrier {
+	if p < 1 {
+		panic("softbarrier: need at least one participant")
+	}
+	rounds := 0
+	for 1<<rounds < p {
+		rounds++
+	}
+	b := &DisseminationBarrier{p: p, rounds: rounds}
+	b.flags = make([][][2]atomic.Uint32, p)
+	for i := range b.flags {
+		b.flags[i] = make([][2]atomic.Uint32, rounds)
+	}
+	b.state = make([]dissState, p)
+	for i := range b.state {
+		b.state[i].sense = 1
+	}
+	return b
+}
+
+// Participants returns P.
+func (b *DisseminationBarrier) Participants() int { return b.p }
+
+// Rounds returns ⌈log₂ p⌉, the number of signalling rounds per episode.
+func (b *DisseminationBarrier) Rounds() int { return b.rounds }
+
+// Wait blocks until all participants arrive.
+func (b *DisseminationBarrier) Wait(id int) {
+	checkID(id, b.p)
+	st := &b.state[id]
+	for r := 0; r < b.rounds; r++ {
+		partner := (id + (1 << r)) % b.p
+		b.flags[partner][r][st.parity].Store(st.sense)
+		for b.flags[id][r][st.parity].Load() != st.sense {
+			runtime.Gosched()
+		}
+	}
+	// Alternate parity each episode; flip sense when the parity wraps, so
+	// the two in-flight episodes' flag values never collide (the MCS-paper
+	// parity/sense scheme).
+	if st.parity == 1 {
+		st.sense = 1 - st.sense
+	}
+	st.parity = 1 - st.parity
+}
+
+var _ Barrier = (*DisseminationBarrier)(nil)

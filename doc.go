@@ -1,0 +1,43 @@
+// Package softbarrier is a library of software synchronization barriers
+// for shared-memory parallel programs, reproducing the design space of
+// Eichenberger & Abraham, "Impact of Load Imbalance on the Design of
+// Software Barriers" (ICPP 1995).
+//
+// # Barriers
+//
+//   - CentralBarrier: a single sense-reversing counter — the simplest
+//     barrier, optimal only when arrivals are widely spread.
+//   - TreeBarrier: a combining tree of counters, either classic
+//     (processors at the leaves; NewCombiningTree) or MCS-style (one
+//     processor attached to every counter; NewMCSTree). The tree degree is
+//     the central tuning knob: degree ≈ 4 is best under simultaneous
+//     arrival, much wider trees are best under load imbalance.
+//   - DynamicBarrier: the paper's contribution — an MCS-style tree whose
+//     placement adapts at run time: a processor that keeps arriving last
+//     migrates toward the root (victor/victim swaps), cutting its
+//     synchronization path from O(log p) to O(1) when arrival order is
+//     predictable (systemic imbalance, or fuzzy barriers with slack).
+//   - AdaptiveBarrier: a tree barrier that measures the arrival spread σ
+//     and re-derives its degree from the paper's analytic model — the
+//     run-time adaptation the paper's conclusion proposes.
+//
+// All barriers implement Barrier; the tree-based ones also implement
+// PhasedBarrier, whose split Arrive/Await pair is a fuzzy barrier (Gupta):
+// code placed between the two phases overlaps with other processors'
+// arrival, converting load imbalance into slack instead of idle time.
+//
+// # Choosing a degree
+//
+// OptimalDegree applies the paper's analytic model (§3–4): give it the
+// participant count, the standard deviation of arrival times, and the cost
+// of a counter update, and it returns the delay-minimizing tree degree.
+//
+// # Fidelity note
+//
+// These barriers are real concurrent data structures, but Go's scheduler
+// multiplexes goroutines over OS threads, so wall-clock measurements of
+// them do not reproduce the paper's per-processor placement behaviour.
+// The quantitative reproduction of the paper lives in the internal
+// simulator packages and is driven by the cmd/experiments binary; this
+// package is the production-facing library.
+package softbarrier

@@ -1,0 +1,231 @@
+package softbarrier
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"softbarrier/internal/topology"
+)
+
+// DynamicBarrier is the paper's dynamic-placement barrier (§5.1, Fig. 7):
+// an MCS-style combining tree in which a participant that completes a
+// counter above its own — meaning it arrived last in that counter's whole
+// subtree — swaps into that counter's local slot as it climbs, displacing
+// the slot's previous occupant (the victim) into the position the victor
+// just vacated. Under systemic load imbalance, or fuzzy barriers with
+// enough slack, the consistently slow participant migrates to the root
+// and synchronizes in O(1) counter updates instead of O(log p).
+//
+// The swap protocol follows the paper's two-phase scheme: the victor
+// writes its id into the counter's Local entry and its previous first
+// counter into the Destination entry; at its next episode the victim
+// notices it was displaced, reads Destination (the one extra
+// communication, paid by the faster processor) and adopts it. Swap writes
+// happen during the ascent, before the victor updates the parent counter,
+// so they are always ordered before the episode's release.
+type DynamicBarrier struct {
+	p        int
+	tree     *topology.Tree
+	counters []dynCounter
+	first    []paddedU64 // per-participant first counter (owner-written)
+	ringOf   []int
+
+	relMu   sync.Mutex
+	relCond *sync.Cond
+	gen     uint64
+	myGen   []paddedU64
+
+	swaps atomic.Uint64
+}
+
+// dynCounter is a tree node's counter plus the dynamic-placement fields.
+type dynCounter struct {
+	mu    sync.Mutex
+	count int
+	fanIn int
+	// local is the participant occupying the counter's local slot, or
+	// topology.NoProc (the ring merge root accepts no migrants). For
+	// internal counters it always names the participant whose first
+	// counter this is.
+	local int
+	// evicted/destination implement the victim hand-off: evicted names the
+	// displaced participant (one-shot, cleared on consumption) and
+	// destination its new first counter.
+	evicted     int
+	destination int
+	ring        int
+	parent      int
+	internal    bool
+	_           [8]byte
+}
+
+// NewDynamic returns a dynamic-placement barrier for p participants over
+// an MCS-style tree of the given degree.
+func NewDynamic(p, degree int) *DynamicBarrier {
+	return NewDynamicFromTree(topology.NewMCS(p, degree))
+}
+
+// NewDynamicRing returns a dynamic-placement barrier whose tree is
+// ring-constrained (one subtree per ring merged by an extra root), as used
+// on the KSR1: swaps never cross ring boundaries.
+func NewDynamicRing(ringSizes []int, degree int) *DynamicBarrier {
+	return NewDynamicFromTree(topology.NewRing(ringSizes, degree))
+}
+
+// NewDynamicFromTree builds the barrier over an explicit topology. Use
+// topology.NewMCS or topology.NewRing; classic trees have no local slots
+// and would never migrate anyone.
+func NewDynamicFromTree(tree *topology.Tree) *DynamicBarrier {
+	b := &DynamicBarrier{
+		p:        tree.P,
+		tree:     tree,
+		counters: make([]dynCounter, len(tree.Counters)),
+		first:    make([]paddedU64, tree.P),
+		ringOf:   make([]int, tree.P),
+		myGen:    make([]paddedU64, tree.P),
+	}
+	for i := range b.counters {
+		c := &tree.Counters[i]
+		b.counters[i] = dynCounter{
+			fanIn:       c.FanIn(),
+			local:       c.Local,
+			evicted:     topology.NoProc,
+			destination: topology.NoCounter,
+			ring:        c.RingID,
+			parent:      c.Parent,
+			internal:    len(c.Children) > 0,
+		}
+	}
+	for id := 0; id < tree.P; id++ {
+		b.first[id].v = uint64(tree.FirstCounter(id))
+		b.ringOf[id] = tree.RingOf(id)
+	}
+	b.relCond = sync.NewCond(&b.relMu)
+	return b
+}
+
+// Participants returns P.
+func (b *DynamicBarrier) Participants() int { return b.p }
+
+// Degree returns the tree's construction degree.
+func (b *DynamicBarrier) Degree() int { return b.tree.Degree }
+
+// Swaps returns the total number of placement swaps performed so far.
+func (b *DynamicBarrier) Swaps() uint64 { return b.swaps.Load() }
+
+// FirstCounterOf returns participant id's current first counter. It is
+// meaningful only at a quiescent point (no Wait/Arrive in flight); the
+// slot is owner-written without cross-goroutine synchronization.
+func (b *DynamicBarrier) FirstCounterOf(id int) int {
+	checkID(id, b.p)
+	return int(b.first[id].v)
+}
+
+// DepthOf returns the number of counters participant id currently updates
+// per episode (its synchronization path length). Like FirstCounterOf it
+// must be called at a quiescent point. A pending eviction the participant
+// has not consumed yet is resolved as the victim itself would resolve it.
+func (b *DynamicBarrier) DepthOf(id int) int {
+	c := b.FirstCounterOf(id)
+	if dc := &b.counters[c]; dc.evicted == id {
+		c = dc.destination
+	}
+	n := 0
+	for c != topology.NoCounter {
+		n++
+		c = b.counters[c].parent
+	}
+	return n
+}
+
+// Wait blocks until all participants arrive.
+func (b *DynamicBarrier) Wait(id int) {
+	b.Arrive(id)
+	b.Await(id)
+}
+
+// Arrive performs the dynamic-placement ascent for participant id.
+func (b *DynamicBarrier) Arrive(id int) {
+	checkID(id, b.p)
+	b.relMu.Lock()
+	b.myGen[id].v = b.gen
+	b.relMu.Unlock()
+
+	// Victim side (Fig. 6d): if we were displaced last episode, our stale
+	// counter's Evicted entry names us; adopt the Destination and, when it
+	// is an internal counter, take over its local slot.
+	fc := int(b.first[id].v)
+	cn := &b.counters[fc]
+	cn.mu.Lock()
+	if cn.evicted == id {
+		cn.evicted = topology.NoProc
+		dest := cn.destination
+		cn.mu.Unlock()
+		nc := &b.counters[dest]
+		nc.mu.Lock()
+		if nc.internal {
+			nc.local = id
+		}
+		nc.mu.Unlock()
+		fc = dest
+		b.first[id].v = uint64(fc)
+	} else {
+		cn.mu.Unlock()
+	}
+
+	b.ascend(id, fc)
+}
+
+// ascend climbs from counter c, swapping into each completed counter above
+// the participant's own (victor side, Fig. 6c), and releases the episode
+// if the root completes.
+func (b *DynamicBarrier) ascend(id, c int) {
+	for c != topology.NoCounter {
+		tc := &b.counters[c]
+		tc.mu.Lock()
+		tc.count++
+		last := tc.count == tc.fanIn
+		if last {
+			tc.count = 0
+		}
+		tc.mu.Unlock()
+		if !last {
+			return
+		}
+		// id arrived last in c's whole subtree: position itself here
+		// before touching the parent, so the swap is ordered before any
+		// possible release.
+		if fc := int(b.first[id].v); c != fc {
+			tc.mu.Lock()
+			if tc.local != topology.NoProc && tc.ring == b.ringOf[id] {
+				tc.evicted = tc.local
+				tc.destination = fc
+				tc.local = id
+				tc.mu.Unlock()
+				b.first[id].v = uint64(c)
+				b.swaps.Add(1)
+			} else {
+				tc.mu.Unlock()
+			}
+		}
+		c = tc.parent
+	}
+	// Root completed: release everyone.
+	b.relMu.Lock()
+	b.gen++
+	b.relCond.Broadcast()
+	b.relMu.Unlock()
+}
+
+// Await blocks participant id until the episode it arrived in completes.
+func (b *DynamicBarrier) Await(id int) {
+	checkID(id, b.p)
+	mine := b.myGen[id].v
+	b.relMu.Lock()
+	for b.gen == mine {
+		b.relCond.Wait()
+	}
+	b.relMu.Unlock()
+}
+
+var _ PhasedBarrier = (*DynamicBarrier)(nil)

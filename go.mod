@@ -1,0 +1,3 @@
+module softbarrier
+
+go 1.22

@@ -1,0 +1,122 @@
+package softbarrier
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Group runs bulk-synchronous supersteps: a fixed pool of workers executes
+// a step function, with a barrier between consecutive steps so that no
+// worker starts step k+1 before every worker finished step k. It is the
+// BSP-loop boilerplate every barrier user otherwise rewrites.
+type Group struct {
+	b Barrier
+}
+
+// NewGroup wraps a barrier in a superstep runner. The group's worker count
+// is the barrier's participant count.
+func NewGroup(b Barrier) *Group { return &Group{b: b} }
+
+// Workers returns the number of workers.
+func (g *Group) Workers() int { return g.b.Participants() }
+
+// Run spawns one goroutine per worker and executes steps supersteps of
+// fn(id, step), synchronizing after each. It returns when every worker has
+// finished the last step. fn must not panic; a panicking step would strand
+// the other workers at the barrier.
+func (g *Group) Run(steps int, fn func(id, step int)) {
+	p := g.b.Participants()
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			for step := 0; step < steps; step++ {
+				fn(id, step)
+				g.b.Wait(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// RunErr is Run with error propagation: fn may fail, and after a step in
+// which any worker failed, no worker starts the next step. Workers always
+// finish the step they are in (everyone must reach the barrier or the
+// others would be stranded), so at most one extra step's work runs after
+// the first failure. It returns the error of the lowest-numbered failing
+// worker of the earliest failing step.
+func (g *Group) RunErr(steps int, fn func(id, step int) error) error {
+	p := g.b.Participants()
+	errs := make([]error, p)
+	errStep := make([]int, p)
+	var failedStep atomic.Int64
+	failedStep.Store(int64(steps))
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			for step := 0; step < steps; step++ {
+				if int64(step) > failedStep.Load() {
+					// A previous step failed; every worker observes this
+					// at the same boundary because the barrier ordered
+					// the failing step's completion before this check.
+					return
+				}
+				if err := fn(id, step); err != nil && errs[id] == nil {
+					errs[id] = err
+					errStep[id] = step
+					// Record the earliest failing step.
+					for {
+						cur := failedStep.Load()
+						if int64(step) >= cur || failedStep.CompareAndSwap(cur, int64(step)) {
+							break
+						}
+					}
+				}
+				g.b.Wait(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if fs := failedStep.Load(); fs < int64(steps) {
+		for id := 0; id < p; id++ {
+			if errs[id] != nil && int64(errStep[id]) == fs {
+				return errs[id]
+			}
+		}
+	}
+	return nil
+}
+
+// RunFuzzy is Run for a PhasedBarrier: after each step's dependent work,
+// the worker arrives at the barrier, executes the slack function (work
+// that needs nothing from other workers this step), and only then blocks.
+// Load imbalance in fn is hidden behind slackFn, the fuzzy-barrier usage
+// the paper's dynamic placement assumes. Either function may be nil.
+func (g *Group) RunFuzzy(steps int, fn, slackFn func(id, step int)) {
+	pb, ok := g.b.(PhasedBarrier)
+	if !ok {
+		panic("softbarrier: RunFuzzy needs a PhasedBarrier")
+	}
+	p := g.b.Participants()
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			for step := 0; step < steps; step++ {
+				if fn != nil {
+					fn(id, step)
+				}
+				pb.Arrive(id)
+				if slackFn != nil {
+					slackFn(id, step)
+				}
+				pb.Await(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+}

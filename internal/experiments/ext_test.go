@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("unparseable cell %q", s)
+	}
+	return v
+}
+
+func TestExt1BaselinesFlatInSigma(t *testing.T) {
+	tab := Ext1(quick())
+	if len(tab.Rows) != len(SigmaGrid) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Dissemination delay (column 3) must stay within a round of its
+	// structural floor across the whole σ grid.
+	lo := parseCell(t, tab.Rows[0][3])
+	hi := parseCell(t, tab.Rows[len(tab.Rows)-1][3])
+	if hi > lo*1.5+0.05 {
+		t.Errorf("dissemination delay not flat in σ: %v → %v", lo, hi)
+	}
+	// At the largest σ the tuned tree must beat dissemination.
+	last := tab.Rows[len(tab.Rows)-1]
+	if parseCell(t, last[2]) >= parseCell(t, last[3]) {
+		t.Errorf("tuned tree (%s) not better than dissemination (%s) at σ=50t_c", last[2], last[3])
+	}
+}
+
+func TestExt2IdleFallsWithSlack(t *testing.T) {
+	tab := Ext2(Options{Episodes: 20, Warmup: 5, Seed: 7})
+	prev := parseCell(t, tab.Rows[0][1])
+	for _, row := range tab.Rows[1:] {
+		cur := parseCell(t, row[1])
+		if cur > prev*1.05 {
+			t.Fatalf("idle time rose with slack: %v after %v", cur, prev)
+		}
+		prev = cur
+	}
+	first := parseCell(t, tab.Rows[0][1])
+	lastIdle := parseCell(t, tab.Rows[len(tab.Rows)-1][1])
+	if lastIdle > first/4 {
+		t.Errorf("idle time barely fell across a 32× slack range: %v → %v", first, lastIdle)
+	}
+}
+
+func TestExt4DistributionShape(t *testing.T) {
+	tab := Ext4(quick())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// At the largest matched σ, every distribution's optimum is a wide
+	// tree; the exponential's never narrower than... shape assertions are
+	// statistical, so assert only the robust ones: wide optima at σ=25t_c.
+	last := tab.Rows[len(tab.Rows)-1]
+	for col := 1; col <= 3; col++ {
+		if parseCell(t, last[col]) < 8 {
+			t.Errorf("σ=25t_c col %d: optimal degree %v, want wide", col, parseCell(t, last[col]))
+		}
+	}
+}
+
+func TestExt3AdaptiveTracksRegimes(t *testing.T) {
+	tab := Ext3(Options{Episodes: 30, Warmup: 5, Seed: 7})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	phase1, phase2 := tab.Rows[0], tab.Rows[1]
+	// Phase 1 (balanced): fixed 64 is poor; adaptive must be within 2× of
+	// fixed 4.
+	if parseCell(t, phase1[4]) > 2*parseCell(t, phase1[2]) {
+		t.Errorf("adaptive %s far from fixed-4 %s in balanced phase", phase1[4], phase1[2])
+	}
+	// Phase 2 (σ=50t_c): fixed 4 is poor; adaptive must be within 2× of
+	// fixed 64 and must have widened its degree.
+	if parseCell(t, phase2[4]) > 2*parseCell(t, phase2[3]) {
+		t.Errorf("adaptive %s far from fixed-64 %s in imbalanced phase", phase2[4], phase2[3])
+	}
+	if d := parseCell(t, phase2[5]); d < 16 {
+		t.Errorf("adaptive degree %v after regime change, want wide", d)
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"softbarrier/internal/barriersim"
+	"softbarrier/internal/model"
+	"softbarrier/internal/stats"
+	"softbarrier/internal/topology"
+)
+
+// Tc is the counter update time used throughout, the paper's 20µs.
+const Tc = barriersim.DefaultTc
+
+// SigmaGrid is the load-imbalance grid of Figs. 3 and 4, in units of t_c.
+var SigmaGrid = []float64{0, 1.6, 6.2, 12.5, 25, 50}
+
+// ProcGrid is the system-size grid of Figs. 3 and 4.
+var ProcGrid = []int{64, 256, 4096}
+
+// Fig2 reproduces Figure 2: simulated vs. approximated synchronization
+// delay per combining-tree degree for 4K processors at σ = 0.25 ms
+// (12.5·t_c). The simulated bar splits into update and contention delay;
+// the approximation exists only for full-tree degrees, so degree 32 has no
+// estimate — exactly as in the paper.
+func Fig2(o Options) *Table {
+	t := &Table{
+		ID:     "FIG2",
+		Title:  "sync delay per degree, 4K procs, σ=0.25ms (ms)",
+		Header: []string{"degree", "depth", "sim update", "sim contention", "sim total", "model"},
+	}
+	const p = 4096
+	sigma := 12.5 * Tc
+	for _, d := range []int{2, 4, 8, 16, 32, 64} {
+		tree := topology.NewClassic(p, d)
+		rr := barriersim.RunIID(tree, barriersim.Config{}, stats.Normal{Sigma: sigma}, o.Episodes, o.Seed)
+		est := "-"
+		if delay, err := model.EstimateDelay(model.Params{P: p, Degree: d, Sigma: sigma}); err == nil {
+			est = ms(delay)
+		}
+		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", tree.Levels),
+			ms(rr.MeanUpdate), ms(rr.MeanContention), ms(rr.MeanSync), est)
+	}
+	t.AddNote("paper shape: update delay ∝ depth; contention explodes past a threshold degree; model tracks the simulated totals for full-tree degrees")
+	return t
+}
+
+// Fig3Cell is one entry of the Fig. 3 grid.
+type Fig3Cell struct {
+	P         int
+	SigmaTc   float64 // σ in units of t_c
+	OptDegree int
+	Speedup   float64 // delay(degree 4) / delay(optimal)
+}
+
+// Fig3Data computes the simulated optimal-degree grid.
+func Fig3Data(o Options) []Fig3Cell {
+	var cells []Fig3Cell
+	for _, p := range ProcGrid {
+		for _, s := range SigmaGrid {
+			best, speedup, _ := barriersim.OptimalDegree(
+				p, topology.NewClassic, barriersim.Config{},
+				stats.Normal{Sigma: s * Tc}, o.Episodes, o.Seed+uint64(p)+uint64(s*10))
+			cells = append(cells, Fig3Cell{P: p, SigmaTc: s, OptDegree: best.Degree, Speedup: speedup})
+		}
+	}
+	return cells
+}
+
+// Fig3 reproduces Figure 3: the simulated optimal combining-tree degree
+// (and its speedup over degree 4) for each system size and load imbalance.
+func Fig3(o Options) *Table {
+	t := &Table{
+		ID:     "FIG3",
+		Title:  "simulated optimal degree (speedup vs degree 4)",
+		Header: []string{"procs"},
+	}
+	for _, s := range SigmaGrid {
+		t.Header = append(t.Header, fmt.Sprintf("σ=%gtc", s))
+	}
+	cells := Fig3Data(o)
+	i := 0
+	for _, p := range ProcGrid {
+		row := []string{fmt.Sprintf("%d", p)}
+		for range SigmaGrid {
+			c := cells[i]
+			i++
+			row = append(row, fmt.Sprintf("%d (%.2f)", c.OptDegree, c.Speedup))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper shape: degree 4 optimal at σ=0; optimal degree and speedup grow with σ and with p (paper reaches degree 128+ and speedup ≈3 on 4K)")
+	return t
+}
+
+// Fig4 reproduces Figure 4: the analytic model's estimated optimal degree
+// against the simulated optimum, with both speedups relative to degree 4,
+// plus the paper's headline accuracy metric (mean estimated/optimal delay
+// ratio; paper: 1.07).
+func Fig4(o Options) *Table {
+	t := &Table{
+		ID:     "FIG4",
+		Title:  "simulated (opt) vs estimated (est) optimal degree (speedup vs degree 4)",
+		Header: []string{"procs", "row"},
+	}
+	for _, s := range SigmaGrid {
+		t.Header = append(t.Header, fmt.Sprintf("σ=%gtc", s))
+	}
+	sumRatio, nRatio := 0.0, 0
+	for _, p := range ProcGrid {
+		optRow := []string{fmt.Sprintf("%d", p), "opt"}
+		estRow := []string{"", "est"}
+		for _, s := range SigmaGrid {
+			sweep := barriersim.DegreeSweep(
+				p, topology.NewClassic, barriersim.Config{},
+				stats.Normal{Sigma: s * Tc}, o.Episodes, o.Seed+uint64(p)+uint64(s*10))
+			opt := barriersim.Best(sweep)
+			est := model.EstimateOptimalDegree(p, s*Tc, Tc)
+			d4, _ := barriersim.DelayOf(sweep, 4)
+			estDelay, ok := barriersim.DelayOf(sweep, est.Degree)
+			if !ok {
+				// The model can only recommend full-tree degrees, which
+				// for power-of-two p are all in the sweep.
+				estDelay = opt.MeanSync
+			}
+			optRow = append(optRow, fmt.Sprintf("%d (%.2f)", opt.Degree, d4/opt.MeanSync))
+			estRow = append(estRow, fmt.Sprintf("%d (%.2f)", est.Degree, d4/estDelay))
+			if opt.MeanSync > 0 {
+				sumRatio += estDelay / opt.MeanSync
+				nRatio++
+			}
+		}
+		t.AddRow(optRow...)
+		t.AddRow(estRow...)
+	}
+	t.AddNote("mean simulated delay of estimated degree / optimal degree = %.3f (paper: ≈1.07)", sumRatio/float64(nRatio))
+	return t
+}
+
+// Eq1 verifies §3's closed-form check: under simultaneous arrival the
+// synchronization delay of a full tree is L·d·t_c, minimized near degree
+// e ≈ 2.72 in the continuous relaxation, with degrees 2 and 4 tied among
+// integers for power-of-4 system sizes.
+func Eq1OptimalDegree(o Options) *Table {
+	t := &Table{
+		ID:     "EQ1",
+		Title:  "simultaneous-arrival delay by degree, p=4096 (ms)",
+		Header: []string{"degree", "levels", "sim delay", "L·d·t_c"},
+	}
+	const p = 4096
+	for _, d := range []int{2, 4, 8, 16, 64} {
+		tree := topology.NewClassic(p, d)
+		rr := barriersim.RunIID(tree, barriersim.Config{}, stats.Degenerate{}, 1, o.Seed)
+		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", tree.Levels),
+			ms(rr.MeanSync), ms(float64(tree.Levels*d)*Tc))
+	}
+	t.AddNote("continuous optimum of d/ln d is d = e ≈ %.3f; degrees 2 and 4 tie at 24·t_c for p=4096", model.OptimalDegreeSimultaneous())
+	return t
+}

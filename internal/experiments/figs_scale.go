@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"softbarrier/internal/barriersim"
+	"softbarrier/internal/stats"
+	"softbarrier/internal/topology"
+	"softbarrier/internal/workload"
+)
+
+// scaleProcs is the system-size sweep of Figures 9–11.
+var scaleProcs = []int{16, 64, 256, 1024, 4096}
+
+// Fig9 reproduces Figure 9: synchronization delay versus system size for a
+// degree-4 combining tree and for the optimal-degree tree, at two load
+// imbalances. The optimal-degree curves flatten: with enough imbalance the
+// delay is insensitive to the system size.
+func Fig9(o Options) *Table {
+	t := &Table{
+		ID:     "FIG9",
+		Title:  "sync delay vs system size: degree 4 vs optimal degree (ms)",
+		Header: []string{"procs", "d=4 σ=0.5ms", "opt σ=0.5ms", "(d*)", "d=4 σ=2ms", "opt σ=2ms", "(d*)"},
+	}
+	for _, p := range scaleProcs {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, sigma := range []float64{0.5e-3, 2e-3} {
+			sweep := barriersim.DegreeSweep(p, topology.NewClassic, barriersim.Config{},
+				stats.Normal{Sigma: sigma}, o.Episodes, o.Seed+uint64(p))
+			best := barriersim.Best(sweep)
+			d4, _ := barriersim.DelayOf(sweep, 4)
+			if p == 4 {
+				d4 = best.MeanSync
+			}
+			row = append(row, ms(d4), ms(best.MeanSync), fmt.Sprintf("%d", best.Degree))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper shape: degree-4 delay grows stepwise with depth; optimal-degree delay is consistently lower and nearly flat in p at large σ")
+	return t
+}
+
+// scaleDynamicRun measures static and dynamic placement on an MCS tree of
+// the given degree across system sizes, with ample slack so placement can
+// converge.
+func scaleDynamicRun(o Options, p, degree int, slack float64) (static, dynamic barriersim.RunResult) {
+	tree := topology.NewMCS(p, degree)
+	dist := stats.Normal{Sigma: fig8Sigma}
+	seed := o.Seed + uint64(p*31+degree)
+	mkIter := func() *workload.Iterator {
+		return workload.NewIterator(workload.IID{N: p, Dist: dist}, slack, seed)
+	}
+	static = barriersim.New(tree, barriersim.Config{}).Run(mkIter(), o.Warmup, o.Episodes)
+	dynamic = barriersim.New(tree, barriersim.Config{Dynamic: true}).Run(mkIter(), o.Warmup, o.Episodes)
+	return static, dynamic
+}
+
+// Fig10 reproduces Figure 10: delay versus system size for static and
+// dynamic placement on degree-4 trees at a small arrival spread with ample
+// slack. Dynamic placement nearly neutralizes the tree depth: the delay
+// becomes almost constant in p.
+func Fig10(o Options) *Table {
+	t := &Table{
+		ID:     "FIG10",
+		Title:  "static vs dynamic placement, degree 4, σ=0.25ms, slack 16ms (ms)",
+		Header: []string{"procs", "static", "dynamic", "speedup", "dyn last depth"},
+	}
+	for _, p := range scaleProcs {
+		static, dynamic := scaleDynamicRun(o, p, 4, 16e-3)
+		t.AddRow(fmt.Sprintf("%d", p), ms(static.MeanSync), ms(dynamic.MeanSync),
+			fmt.Sprintf("%.2f", static.MeanSync/dynamic.MeanSync),
+			fmt.Sprintf("%.2f", dynamic.MeanLastDepth))
+	}
+	t.AddNote("paper shape: static delay grows with tree depth; dynamic delay is nearly constant in p")
+	return t
+}
+
+// Fig11 reproduces Figure 11: the combined effect — a wider (degree 16)
+// tree plus dynamic placement — versus static degree 16, across system
+// sizes. With both techniques the delay is nearly independent of the
+// number of processors.
+func Fig11(o Options) *Table {
+	t := &Table{
+		ID:     "FIG11",
+		Title:  "combined: degree 16 static vs dynamic, σ=0.25ms, slack 16ms (ms)",
+		Header: []string{"procs", "static d=16", "dynamic d=16", "speedup", "dyn last depth"},
+	}
+	for _, p := range scaleProcs {
+		static, dynamic := scaleDynamicRun(o, p, 16, 16e-3)
+		t.AddRow(fmt.Sprintf("%d", p), ms(static.MeanSync), ms(dynamic.MeanSync),
+			fmt.Sprintf("%.2f", static.MeanSync/dynamic.MeanSync),
+			fmt.Sprintf("%.2f", dynamic.MeanLastDepth))
+	}
+	t.AddNote("paper shape: with a suitable degree and dynamic placement, software barriers scale to large p when slack is available")
+	return t
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PlotSpec selects table columns to render as an ASCII chart: the x column
+// and one curve per y column. Specs are registered per experiment ID and
+// used by cmd/experiments' -plot flag.
+type PlotSpec struct {
+	XCol  int
+	YCols []int
+	LogX  bool
+	Title string
+}
+
+// plotSpecs maps experiment IDs to their curve view, for tables that are
+// figures (curves over system size or slack) in the paper.
+var plotSpecs = map[string]PlotSpec{
+	"FIG9":  {XCol: 0, YCols: []int{1, 2, 4, 5}, LogX: true, Title: "delay (ms) vs processors"},
+	"FIG10": {XCol: 0, YCols: []int{1, 2}, LogX: true, Title: "delay (ms) vs processors"},
+	"FIG11": {XCol: 0, YCols: []int{1, 2}, LogX: true, Title: "delay (ms) vs processors"},
+	"EXT1":  {XCol: 0, YCols: []int{1, 3, 4}, Title: "delay (ms) vs σ/tc"},
+	"EXT2":  {XCol: 0, YCols: []int{1}, Title: "idle (µs) vs slack (ms)"},
+}
+
+// SpecFor returns the plot spec for an experiment ID, if one is defined.
+func SpecFor(id string) (PlotSpec, bool) {
+	s, ok := plotSpecs[id]
+	return s, ok
+}
+
+// Plot renders the selected table columns as an ASCII chart of the given
+// size (minimums 20×5 are enforced). Curves are labelled a, b, c… in
+// y-column order with a legend of the column headers; overlapping points
+// print '*'. It fails if a selected cell does not parse as a leading
+// float.
+func (t *Table) Plot(spec PlotSpec, width, height int) (string, error) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	if len(t.Rows) == 0 {
+		return "", fmt.Errorf("experiments: empty table")
+	}
+	parse := func(s string) (float64, error) {
+		s = strings.TrimSpace(s)
+		if i := strings.IndexByte(s, ' '); i > 0 {
+			s = s[:i]
+		}
+		return strconv.ParseFloat(s, 64)
+	}
+
+	xs := make([]float64, len(t.Rows))
+	for i, row := range t.Rows {
+		v, err := parse(row[spec.XCol])
+		if err != nil {
+			return "", fmt.Errorf("experiments: x cell %q: %v", row[spec.XCol], err)
+		}
+		if spec.LogX {
+			if v <= 0 {
+				return "", fmt.Errorf("experiments: log-x needs positive x, got %v", v)
+			}
+			v = math.Log2(v)
+		}
+		xs[i] = v
+	}
+	type curve struct {
+		label byte
+		name  string
+		ys    []float64
+	}
+	var curves []curve
+	for ci, col := range spec.YCols {
+		c := curve{label: byte('a' + ci), name: t.Header[col], ys: make([]float64, len(t.Rows))}
+		for i, row := range t.Rows {
+			v, err := parse(row[col])
+			if err != nil {
+				return "", fmt.Errorf("experiments: y cell %q: %v", row[col], err)
+			}
+			c.ys[i] = v
+		}
+		curves = append(curves, c)
+	}
+
+	xMin, xMax := xs[0], xs[0]
+	for _, x := range xs {
+		xMin = math.Min(xMin, x)
+		xMax = math.Max(xMax, x)
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, c := range curves {
+		for _, y := range c.ys {
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, c := range curves {
+		for i := range xs {
+			col := int(float64(width-1) * (xs[i] - xMin) / (xMax - xMin))
+			row := height - 1 - int(float64(height-1)*(c.ys[i]-yMin)/(yMax-yMin))
+			if grid[row][col] == ' ' {
+				grid[row][col] = c.label
+			} else if grid[row][col] != c.label {
+				grid[row][col] = '*'
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, spec.Title)
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", yMax, grid[0])
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", grid[r])
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", yMin, grid[height-1])
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", width))
+	lo, hi := xs[0], xs[len(xs)-1]
+	if spec.LogX {
+		lo, hi = math.Exp2(lo), math.Exp2(hi)
+	}
+	fmt.Fprintf(&b, "%11s%-*.4g%*.4g\n", "", width/2, lo, width-width/2, hi)
+	for _, c := range curves {
+		fmt.Fprintf(&b, "  %c = %s\n", c.label, c.name)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,8 @@
+package experiments
+
+import "fmt"
+
+// fmtSscan wraps fmt.Sscan so tests can parse formatted table cells.
+func fmtSscan(s string, out ...interface{}) (int, error) {
+	return fmt.Sscan(s, out...)
+}

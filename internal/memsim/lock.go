@@ -1,0 +1,156 @@
+package memsim
+
+import (
+	"fmt"
+	"sort"
+
+	"softbarrier/internal/eventsim"
+)
+
+// LockKind selects the lock protecting a simulated counter.
+type LockKind int
+
+// Lock kinds.
+const (
+	// QueueLock hands the line owner-to-owner in arrival order: each
+	// update costs one transfer regardless of contention (the ideal lock
+	// the paper's t_c assumes).
+	QueueLock LockKind = iota
+	// TASLock is test-and-set: waiters re-RMW the lock line every
+	// spinGap, stealing line ownership from the holder and delaying both
+	// the critical section and the release.
+	TASLock
+)
+
+func (k LockKind) String() string {
+	switch k {
+	case QueueLock:
+		return "queue"
+	case TASLock:
+		return "test-and-set"
+	default:
+		return fmt.Sprintf("LockKind(%d)", int(k))
+	}
+}
+
+// Line numbers used by the counter episode.
+const (
+	lockLine    = 0
+	counterLine = 1
+)
+
+// EpisodeResult reports a simulated lock-protected counter episode.
+type EpisodeResult struct {
+	// Done[i] is processor i's update completion time.
+	Done []float64
+	// Release is the completion of the last update.
+	Release float64
+	// Attempts counts lock-line transactions (retries included).
+	Attempts uint64
+}
+
+// CounterEpisode simulates every processor performing one update of a
+// lock-protected shared counter, arriving at the given times. spinGap is
+// the re-try interval of TAS waiters (ignored for the queue lock; a
+// non-positive value defaults to the hit latency). The system's lock and
+// counter lines are marked as synchronization state.
+func CounterEpisode(s *System, kind LockKind, arrivals []float64, spinGap float64) EpisodeResult {
+	p := len(arrivals)
+	if p == 0 {
+		panic("memsim: no arrivals")
+	}
+	if p > s.P {
+		panic("memsim: more arrivals than processors")
+	}
+	s.MarkSync(lockLine)
+	s.MarkSync(counterLine)
+	res := EpisodeResult{Done: make([]float64, p)}
+
+	if kind == QueueLock {
+		// FIFO hand-off: serve in arrival order; each holder RMWs the
+		// lock line (grant) and the counter line.
+		order := make([]int, p)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if arrivals[order[a]] != arrivals[order[b]] {
+				return arrivals[order[a]] < arrivals[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		for _, proc := range order {
+			grant := s.Access(proc, lockLine, true, arrivals[proc])
+			done := s.Access(proc, counterLine, true, grant)
+			res.Done[proc] = done
+			res.Attempts++
+			if done > res.Release {
+				res.Release = done
+			}
+		}
+		return res
+	}
+
+	// TAS: event-driven spin simulation.
+	if spinGap <= 0 {
+		spinGap = s.Lat.Hit
+	}
+	var sim eventsim.Simulator
+	locked := false
+	remaining := p
+	var attempt func(proc int)
+	attempt = func(proc int) {
+		end := s.Access(proc, lockLine, true, sim.Now())
+		res.Attempts++
+		sim.ScheduleAt(end, func() {
+			if locked {
+				sim.Schedule(spinGap, func() { attempt(proc) })
+				return
+			}
+			locked = true
+			update := s.Access(proc, counterLine, true, sim.Now())
+			sim.ScheduleAt(update, func() {
+				rel := s.Access(proc, lockLine, true, sim.Now())
+				sim.ScheduleAt(rel, func() {
+					locked = false
+					res.Done[proc] = sim.Now()
+					if sim.Now() > res.Release {
+						res.Release = sim.Now()
+					}
+					remaining--
+				})
+			})
+		})
+	}
+	// Normalize arrivals to a non-negative base.
+	shift := arrivals[0]
+	for _, a := range arrivals {
+		if a < shift {
+			shift = a
+		}
+	}
+	for i, a := range arrivals {
+		proc := i
+		sim.ScheduleAt(a-shift, func() { attempt(proc) })
+	}
+	sim.Run()
+	if remaining != 0 {
+		panic("memsim: TAS episode did not complete")
+	}
+	for i := range res.Done {
+		res.Done[i] += shift
+	}
+	res.Release += shift
+	return res
+}
+
+// EffectiveUpdateTime returns the mean per-update service time of a
+// counter protected by the given lock when contenders processors arrive
+// simultaneously: (release − arrival)/contenders. It is the mechanistic
+// counterpart of the paper's t_c (queue lock) and of barriersim's
+// degradation knob (TAS).
+func EffectiveUpdateTime(kind LockKind, contenders int, lat Latencies, spinGap float64) float64 {
+	s := New(contenders, lat)
+	res := CounterEpisode(s, kind, make([]float64, contenders), spinGap)
+	return res.Release / float64(contenders)
+}

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"softbarrier/internal/stats"
+)
+
+// ExpectedIdle approximates the expected idle time per processor at a
+// fuzzy barrier with the given slack, for one episode of p processors with
+// N(0, σ²) arrival times and a perfect (zero-delay) barrier:
+//
+//	idle_i = max(0, R − s − e_i),  R = max_j e_j
+//
+// i.e. the wait the slack's independent work cannot hide. Fixing the
+// release at its expectation R = σ·E[M_p] (computed exactly by numerical
+// integration, not Eq. 5's asymptote) gives the closed form
+//
+//	E[(c − X)+] = c·Φ(c/σ) + σ·φ(c/σ),  c = σ·E[M_p] − s
+//
+// for X ~ N(0, σ²). This is the quantitative content of the authors'
+// earlier fuzzy-barrier result [13] that motivates §5: once s exceeds a
+// few σ the idle time collapses toward zero, roughly like 1/s in the
+// transition region. Freezing the release at its mean biases the estimate
+// a few percent low near s = 0 and ~10–25% low deep in the tail (Jensen:
+// (·)+ is convex in the release); experiment EXT2 measures the same
+// quantity by simulation, including the iterated-slack feedback this
+// single-episode formula also ignores.
+func ExpectedIdle(p int, sigma, slack float64) float64 {
+	if p < 1 {
+		panic("model: need at least one processor")
+	}
+	if sigma < 0 || slack < 0 {
+		panic("model: negative σ or slack")
+	}
+	if sigma == 0 {
+		// Simultaneous arrivals: idle only if the slack is "negative",
+		// which it cannot be.
+		return 0
+	}
+	c := sigma*stats.ExpectedMaxNormalExact(p) - slack
+	z := c / sigma
+	return c*stats.NormalCDF(z) + sigma*stats.NormalPDF(z)
+}
+
+// IdleBreakEvenSlack returns the slack at which the expected idle time
+// drops to the given fraction (0 < fraction < 1) of its zero-slack value,
+// found by bisection. It answers the practical question "how much slack
+// must the program expose before fuzzy barriers pay off". It panics on an
+// out-of-range fraction.
+func IdleBreakEvenSlack(p int, sigma, fraction float64) float64 {
+	if fraction <= 0 || fraction >= 1 {
+		panic("model: fraction must be in (0, 1)")
+	}
+	if sigma == 0 {
+		return 0
+	}
+	target := fraction * ExpectedIdle(p, sigma, 0)
+	lo, hi := 0.0, sigma*(stats.ExpectedMaxNormalExact(p)+10)
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if ExpectedIdle(p, sigma, mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

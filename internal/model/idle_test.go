@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"softbarrier/internal/stats"
+)
+
+func TestExpectedIdleZeroSlackMonteCarlo(t *testing.T) {
+	// At slack 0 the approximation must track a direct Monte Carlo of
+	// E[max_j e_j − e_i] within a few percent.
+	r := stats.NewRNG(71)
+	for _, p := range []int{64, 1024} {
+		const trials = 3000
+		sum := 0.0
+		xs := make([]float64, p)
+		for tr := 0; tr < trials; tr++ {
+			m := math.Inf(-1)
+			for i := range xs {
+				xs[i] = r.NormFloat64()
+				if xs[i] > m {
+					m = xs[i]
+				}
+			}
+			for _, x := range xs {
+				sum += m - x
+			}
+		}
+		mc := sum / float64(trials*p)
+		approx := ExpectedIdle(p, 1, 0)
+		if rel := math.Abs(approx-mc) / mc; rel > 0.05 {
+			t.Errorf("p=%d: approx %v vs Monte Carlo %v (rel %v)", p, approx, mc, rel)
+		}
+	}
+}
+
+func TestExpectedIdleWithSlackMonteCarlo(t *testing.T) {
+	r := stats.NewRNG(73)
+	p := 256
+	sigma := 1.0
+	for _, slack := range []float64{1, 2, 3} {
+		const trials = 4000
+		sum := 0.0
+		xs := make([]float64, p)
+		for tr := 0; tr < trials; tr++ {
+			m := math.Inf(-1)
+			for i := range xs {
+				xs[i] = sigma * r.NormFloat64()
+				if xs[i] > m {
+					m = xs[i]
+				}
+			}
+			for _, x := range xs {
+				if idle := m - slack - x; idle > 0 {
+					sum += idle
+				}
+			}
+		}
+		mc := sum / float64(trials*p)
+		approx := ExpectedIdle(p, sigma, slack)
+		// Freezing the release at its mean biases the tail low (see the
+		// doc comment); allow 25%.
+		if rel := math.Abs(approx-mc) / math.Max(mc, 1e-6); rel > 0.25 {
+			t.Errorf("slack=%v: approx %v vs Monte Carlo %v (rel %v)", slack, approx, mc, rel)
+		}
+	}
+}
+
+func TestExpectedIdleMonotoneDecreasingInSlack(t *testing.T) {
+	prev := math.Inf(1)
+	for s := 0.0; s <= 8; s += 0.25 {
+		v := ExpectedIdle(1024, 1, s)
+		if v > prev+1e-12 {
+			t.Fatalf("idle rose at slack %v: %v > %v", s, v, prev)
+		}
+		prev = v
+	}
+	if prev > 1e-3 {
+		t.Errorf("idle at slack 8σ = %v, want ≈0", prev)
+	}
+}
+
+func TestExpectedIdleScalesWithSigma(t *testing.T) {
+	// Dimensional analysis: idle(p, kσ, ks) = k·idle(p, σ, s).
+	a := ExpectedIdle(512, 2, 1)
+	b := ExpectedIdle(512, 1, 0.5)
+	if math.Abs(a-2*b) > 1e-12 {
+		t.Errorf("scaling violated: %v vs 2×%v", a, b)
+	}
+}
+
+func TestExpectedIdleEdgeCases(t *testing.T) {
+	if ExpectedIdle(1024, 0, 0) != 0 {
+		t.Error("σ=0 should give zero idle")
+	}
+	if got := ExpectedIdle(1, 1, 0); got < 0 {
+		t.Errorf("single processor idle %v < 0", got)
+	}
+	for _, f := range []func(){
+		func() { ExpectedIdle(0, 1, 0) },
+		func() { ExpectedIdle(4, -1, 0) },
+		func() { ExpectedIdle(4, 1, -1) },
+		func() { IdleBreakEvenSlack(64, 1, 0) },
+		func() { IdleBreakEvenSlack(64, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIdleBreakEvenSlack(t *testing.T) {
+	p, sigma := 1024, 1.0
+	s := IdleBreakEvenSlack(p, sigma, 0.1)
+	if s <= 0 {
+		t.Fatalf("break-even slack %v", s)
+	}
+	got := ExpectedIdle(p, sigma, s)
+	want := 0.1 * ExpectedIdle(p, sigma, 0)
+	if math.Abs(got-want) > want*0.01 {
+		t.Errorf("idle at break-even %v, want %v", got, want)
+	}
+	if IdleBreakEvenSlack(64, 0, 0.5) != 0 {
+		t.Error("σ=0 break-even should be 0")
+	}
+}

@@ -1,0 +1,247 @@
+// Package model implements the paper's analytic approximation of the
+// synchronization delay of a software combining tree under load imbalance
+// (§3, Eq. 1–8, Algorithm 1) and the optimal-degree estimation built on it
+// (§4).
+//
+// The model assumes a full tree (p = d^L) of degree d whose processors'
+// arrival times are normally distributed with standard deviation σ. The
+// processors are partitioned into subsets S_0 … S_{L−1} along the last
+// processor's path to the root: S_l holds the d−1 depth-l subtrees hanging
+// off the path counter at level l, so |S_l| = (d−1)·d^l. All processors of
+// a subset are assumed to arrive simultaneously, and subsets farther from
+// the last processor arrive earlier.
+//
+// Each subset's arrival time comes from the inverse normal distribution at
+// the expected fraction of processors arriving before it (Eq. 2–4); the
+// last processor's arrival uses the order-statistics asymptote (Eq. 5).
+// A subset's release time adds the contention-tree delay of Eq. 1 and the
+// propagation to the root (Eq. 6); the synchronization delay is the max
+// over release times minus the last arrival (Eq. 8).
+//
+// One reading choice: the paper's Eq. 1 delay c(L) = L·d·t_c is applied
+// here to the (l+1)-level subtree formed by subset S_l together with the
+// path counter collecting it, so the σ = 0 case reduces exactly to the
+// known simultaneous-arrival delay L·d·t_c and the estimated optimal
+// degree at σ = 0 is 4, as the paper's Fig. 4 reports.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"softbarrier/internal/stats"
+)
+
+// Params specifies one analytic-model evaluation.
+type Params struct {
+	// P is the number of processors; must be d^L for some L ≥ 1.
+	P int
+	// Degree is the combining-tree degree d ≥ 2.
+	Degree int
+	// Sigma is the standard deviation of processor arrival times.
+	Sigma float64
+	// Tc is the counter update time; 0 selects 20µs (the paper's value).
+	Tc float64
+}
+
+// DefaultTc mirrors the simulator's counter update time (20µs in seconds).
+const DefaultTc = 20e-6
+
+// FullLevels returns L such that d^L == p, or false when p is not a power
+// of d (the model requires full trees).
+func FullLevels(p, d int) (int, bool) {
+	if p < 1 || d < 2 {
+		return 0, false
+	}
+	l, v := 0, 1
+	for v < p {
+		v *= d
+		l++
+	}
+	return l, v == p
+}
+
+// FullTreeDegrees returns every degree d ≥ 2 with d^L = p for some L ≥ 1,
+// in increasing order. For p = 4096 this is {2, 4, 8, 16, 64, 4096} — note
+// the absence of 32, which is why the paper's Fig. 2 has no approximation
+// bar for degree 32.
+func FullTreeDegrees(p int) []int {
+	var ds []int
+	for d := 2; d <= p; d++ {
+		if _, ok := FullLevels(p, d); ok {
+			ds = append(ds, d)
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// SubsetSize returns |S_l| = (d−1)·d^l (Eq. 2 context).
+func SubsetSize(d, l int) int {
+	return (d - 1) * pow(d, l)
+}
+
+// PBefore returns the expected fraction of processors arriving before the
+// processors of subset S_l in an L-level tree of degree d:
+// 1 − d^(l+1−L) (Eq. 2). For the earliest subset (l = L−1) this is 0, and
+// Algorithm 1 substitutes PBefore(S_{L−2})/2; that substitution is the
+// caller's (EstimateDelay's) job.
+func PBefore(d, l, levels int) float64 {
+	return 1 - math.Pow(float64(d), float64(l+1-levels))
+}
+
+// Contention returns Eq. 1's synchronization delay of a full tree with the
+// given number of levels under simultaneous arrival: levels·d·t_c.
+func Contention(d, levels int, tc float64) float64 {
+	return float64(levels) * float64(d) * tc
+}
+
+// LastArrival returns Eq. 5's asymptotic expected arrival time of the last
+// of p processors, σ·E[max of p standard normals].
+func LastArrival(p int, sigma float64) float64 {
+	return sigma * stats.ExpectedMaxNormalAsymptotic(p)
+}
+
+// Breakdown exposes the intermediate quantities of Algorithm 1 for
+// inspection and testing.
+type Breakdown struct {
+	Levels         int
+	SubsetArrival  []float64 // T_arr(S_l), l = 0..L−1
+	SubsetRelease  []float64 // T_rel(S_l)
+	LastArrival    float64   // T_arr(last), Eq. 5
+	LastRelease    float64   // T_rel(last), Eq. 7
+	Delay          float64   // T_sync, Eq. 8
+	CriticalSubset int       // l of the release-time maximum, −1 if the last processor dominates
+}
+
+// EstimateDelay runs Algorithm 1 and returns the approximate
+// synchronization delay for the given parameters. It fails if p is not a
+// full power of the degree.
+func EstimateDelay(pr Params) (float64, error) {
+	b, err := Estimate(pr)
+	if err != nil {
+		return 0, err
+	}
+	return b.Delay, nil
+}
+
+// Estimate runs Algorithm 1 and returns the full breakdown.
+func Estimate(pr Params) (Breakdown, error) {
+	if pr.Tc == 0 {
+		pr.Tc = DefaultTc
+	}
+	if pr.Tc < 0 || pr.Sigma < 0 {
+		return Breakdown{}, fmt.Errorf("model: negative σ or t_c")
+	}
+	if pr.Degree < 2 {
+		return Breakdown{}, fmt.Errorf("model: degree %d < 2", pr.Degree)
+	}
+	levels, ok := FullLevels(pr.P, pr.Degree)
+	if !ok {
+		return Breakdown{}, fmt.Errorf("model: %d processors is not a full tree of degree %d", pr.P, pr.Degree)
+	}
+	b := Breakdown{
+		Levels:         levels,
+		SubsetArrival:  make([]float64, levels),
+		SubsetRelease:  make([]float64, levels),
+		CriticalSubset: -1,
+	}
+
+	// Step 1: subset arrival and release times (Eq. 2, 4, 1, 6).
+	for l := 0; l < levels; l++ {
+		pb := PBefore(pr.Degree, l, levels)
+		if l == levels-1 {
+			// Φ⁻¹(0) = −∞. Algorithm 1 replaces the earliest subset's
+			// fraction by the middle of its quantile range: the subset
+			// spans [0, PBefore(S_{L−2})], so the paper halves
+			// PBefore(S_{L−2}). For the flat single-level tree the lone
+			// subset spans [0, 1−1/p], giving (1−1/p)/2 by the same rule.
+			if levels >= 2 {
+				pb = PBefore(pr.Degree, levels-2, levels) / 2
+			} else {
+				pb = (1 - 1/float64(pr.P)) / 2
+			}
+		}
+		if pr.Sigma == 0 {
+			b.SubsetArrival[l] = 0
+		} else {
+			b.SubsetArrival[l] = pr.Sigma * stats.NormalQuantile(pb)
+		}
+		// Subset S_l plus the climber from below form a full (l+1)-level
+		// subtree rooted at the path counter of level l (Eq. 1), after
+		// which the finisher updates the path counters at levels
+		// l+1 … L−1 (Eq. 6).
+		b.SubsetRelease[l] = b.SubsetArrival[l] +
+			Contention(pr.Degree, l+1, pr.Tc) +
+			float64(levels-1-l)*pr.Tc
+	}
+
+	// Step 2: the last processor (Eq. 5, 7).
+	b.LastArrival = LastArrival(pr.P, pr.Sigma)
+	b.LastRelease = b.LastArrival + float64(levels)*pr.Tc
+
+	// Step 3: Eq. 8.
+	release := b.LastRelease
+	for l, r := range b.SubsetRelease {
+		if r > release {
+			release = r
+			b.CriticalSubset = l
+		}
+	}
+	b.Delay = release - b.LastArrival
+	return b, nil
+}
+
+// DegreeEstimate is one entry of an analytic degree sweep.
+type DegreeEstimate struct {
+	Degree int
+	Levels int
+	Delay  float64
+}
+
+// EstimateSweep evaluates the model for every full-tree degree of p and
+// returns the estimates in increasing degree order.
+func EstimateSweep(p int, sigma, tc float64) []DegreeEstimate {
+	var out []DegreeEstimate
+	for _, d := range FullTreeDegrees(p) {
+		b, err := Estimate(Params{P: p, Degree: d, Sigma: sigma, Tc: tc})
+		if err != nil {
+			// Unreachable: FullTreeDegrees only yields valid degrees.
+			panic(err)
+		}
+		out = append(out, DegreeEstimate{Degree: d, Levels: b.Levels, Delay: b.Delay})
+	}
+	return out
+}
+
+// EstimateOptimalDegree returns the analytic model's delay-minimizing
+// degree for p processors at the given imbalance, with ties going to the
+// larger degree (wider trees need fewer counters). This is the quantity a
+// compiler would use to configure a barrier (§8).
+func EstimateOptimalDegree(p int, sigma, tc float64) DegreeEstimate {
+	sweep := EstimateSweep(p, sigma, tc)
+	best := sweep[0]
+	for _, e := range sweep[1:] {
+		switch {
+		case e.Delay < best.Delay*(1-1e-12):
+			best = e
+		case e.Delay < best.Delay*(1+1e-12) && e.Degree > best.Degree:
+			best = e
+		}
+	}
+	return best
+}
+
+// OptimalDegreeSimultaneous returns the continuous minimizer of Eq. 1 under
+// simultaneous arrival, d = e ≈ 2.718 (§3): minimizing L·d·t_c with
+// L = ln p / ln d minimizes d / ln d.
+func OptimalDegreeSimultaneous() float64 { return math.E }
+
+func pow(b, e int) int {
+	v := 1
+	for i := 0; i < e; i++ {
+		v *= b
+	}
+	return v
+}

@@ -1,0 +1,145 @@
+// Package sor implements the successive-over-relaxation workload of the
+// paper's §7 measurements: a two-dimensional relaxation where each element
+// is averaged with its four neighbors, performed in two alternating arrays
+// and partitioned along the x-dimension across processors.
+//
+// The package provides three views of the same workload: a sequential
+// numeric kernel (the reference), a goroutine-parallel solver driven by a
+// caller-supplied barrier (used by the runtime-barrier examples and
+// benchmarks), and a KSR1 timing model that turns the workload's
+// communication structure into per-iteration execution-time distributions
+// for the barrier simulator (the §7 substitution, see DESIGN.md).
+package sor
+
+import "fmt"
+
+// Grid is a two-buffer relaxation grid of NX×NY points, including a fixed
+// (Dirichlet) boundary of one point on every side. Interior points are
+// averaged with their four neighbors from the source buffer into the
+// destination buffer.
+type Grid struct {
+	NX, NY int
+	buf    [2][]float64
+}
+
+// NewGrid allocates an NX×NY grid (both ≥ 3 so an interior exists), zero
+// everywhere.
+func NewGrid(nx, ny int) *Grid {
+	if nx < 3 || ny < 3 {
+		panic("sor: grid needs at least 3 points per dimension")
+	}
+	g := &Grid{NX: nx, NY: ny}
+	g.buf[0] = make([]float64, nx*ny)
+	g.buf[1] = make([]float64, nx*ny)
+	return g
+}
+
+// At returns the value at (x, y) of buffer b.
+func (g *Grid) At(b, x, y int) float64 { return g.buf[b][x*g.NY+y] }
+
+// Set writes v at (x, y) of buffer b.
+func (g *Grid) Set(b, x, y int, v float64) { g.buf[b][x*g.NY+y] = v }
+
+// SetBoth writes v at (x, y) of both buffers, as boundary initialization
+// must.
+func (g *Grid) SetBoth(x, y int, v float64) {
+	g.Set(0, x, y, v)
+	g.Set(1, x, y, v)
+}
+
+// Fill sets every point of both buffers to f(x, y).
+func (g *Grid) Fill(f func(x, y int) float64) {
+	for x := 0; x < g.NX; x++ {
+		for y := 0; y < g.NY; y++ {
+			g.SetBoth(x, y, f(x, y))
+		}
+	}
+}
+
+// RelaxRows relaxes interior rows [x0, x1) from buffer src into buffer
+// 1−src. Rows 0 and NX−1 are boundary and never written; callers passing
+// them are clipped.
+func (g *Grid) RelaxRows(src, x0, x1 int) {
+	if x0 < 1 {
+		x0 = 1
+	}
+	if x1 > g.NX-1 {
+		x1 = g.NX - 1
+	}
+	s, d := g.buf[src], g.buf[1-src]
+	ny := g.NY
+	for x := x0; x < x1; x++ {
+		row := x * ny
+		for y := 1; y < ny-1; y++ {
+			i := row + y
+			d[i] = 0.25 * (s[i-ny] + s[i+ny] + s[i-1] + s[i+1])
+		}
+	}
+}
+
+// Relax performs one full relaxation sweep from buffer src into 1−src.
+func (g *Grid) Relax(src int) { g.RelaxRows(src, 1, g.NX-1) }
+
+// SolveSeq runs iters sequential relaxation sweeps starting from buffer 0
+// and returns the index of the buffer holding the final values.
+func (g *Grid) SolveSeq(iters int) int {
+	src := 0
+	for k := 0; k < iters; k++ {
+		g.Relax(src)
+		src = 1 - src
+	}
+	return src
+}
+
+// Residual returns the maximum absolute difference between buffer b and
+// one further relaxation sweep of it: 0 means b is a fixed point.
+func (g *Grid) Residual(b int) float64 {
+	max := 0.0
+	s := g.buf[b]
+	ny := g.NY
+	for x := 1; x < g.NX-1; x++ {
+		for y := 1; y < ny-1; y++ {
+			i := x*ny + y
+			next := 0.25 * (s[i-ny] + s[i+ny] + s[i-1] + s[i+1])
+			if d := next - s[i]; d > max {
+				max = d
+			} else if -d > max {
+				max = -d
+			}
+		}
+	}
+	return max
+}
+
+// Checksum returns the sum of buffer b, a cheap equality probe for
+// comparing solver variants.
+func (g *Grid) Checksum(b int) float64 {
+	sum := 0.0
+	for _, v := range g.buf[b] {
+		sum += v
+	}
+	return sum
+}
+
+// Stripes partitions n interior rows among p processors into contiguous
+// [start, end) ranges (1-based, excluding boundary rows), balanced to
+// within one row. It panics if p exceeds n or either is non-positive.
+func Stripes(n, p int) [][2]int {
+	if p < 1 || n < 1 {
+		panic("sor: need positive rows and processors")
+	}
+	if p > n {
+		panic(fmt.Sprintf("sor: %d processors for %d rows", p, n))
+	}
+	out := make([][2]int, p)
+	start := 1
+	for i := 0; i < p; i++ {
+		share := n / p
+		if i < n%p {
+			share++
+		}
+		out[i] = [2]int{start, start + share}
+		start += share
+	}
+	return out
+}

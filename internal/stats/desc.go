@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P50    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		P50:    Percentile(xs, 50),
+		P95:    Percentile(xs, 95),
+		Max:    Max(xs),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g p50=%.6g p95=%.6g max=%.6g",
+		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P95, s.Max)
+}
+
+// Ranks returns the fractional ranks of xs (1-based; ties get the average
+// rank), as used by the Spearman correlation.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns the Spearman rank correlation of paired samples xs, ys.
+// It panics if the lengths differ and returns 0 for samples shorter than 2
+// or with zero rank variance. The barrier study uses it to quantify how well
+// one iteration's arrival order predicts the next (Fig. 5).
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Spearman with mismatched lengths")
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	rx, ry := Ranks(xs), Ranks(ys)
+	mx, my := Mean(rx), Mean(ry)
+	var num, dx, dy float64
+	for i := range rx {
+		a, b := rx[i]-mx, ry[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}
+
+// Histogram is a fixed-width bucketing of a sample.
+type Histogram struct {
+	Lo, Hi  float64 // histogram range
+	Counts  []int   // per-bucket counts
+	Under   int     // samples below Lo
+	Over    int     // samples at or above Hi
+	Samples int     // total samples observed
+}
+
+// NewHistogram creates a histogram over [lo, hi) with buckets buckets.
+// It panics for a non-positive bucket count or an empty range.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if !(hi > lo) {
+		panic("stats: histogram range must be non-empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.Samples++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard the x == Hi-ε rounding edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// BucketWidth returns the width of each bucket.
+func (h *Histogram) BucketWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Counts)) }

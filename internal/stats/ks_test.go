@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSNormalAcceptsNormalSamples(t *testing.T) {
+	r := NewRNG(41)
+	const n = 5000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 3 + 2*r.NormFloat64()
+	}
+	d := KSNormal(xs, 3, 2)
+	crit := KSCriticalValue(n, 0.01)
+	if d > crit {
+		t.Errorf("normal sample rejected: D=%v > crit=%v", d, crit)
+	}
+}
+
+func TestKSNormalRejectsExponentialSamples(t *testing.T) {
+	r := NewRNG(43)
+	const n = 5000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.ExpFloat64()
+	}
+	// Match the first two moments (mean 1, sd 1) — shape alone must fail.
+	d := KSNormal(xs, 1, 1)
+	crit := KSCriticalValue(n, 0.01)
+	if d <= crit {
+		t.Errorf("exponential sample accepted as normal: D=%v ≤ crit=%v", d, crit)
+	}
+}
+
+func TestKSUniformSampler(t *testing.T) {
+	r := NewRNG(47)
+	const n = 5000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	d := KolmogorovSmirnov(xs, func(x float64) float64 {
+		switch {
+		case x < 0:
+			return 0
+		case x > 1:
+			return 1
+		default:
+			return x
+		}
+	})
+	if crit := KSCriticalValue(n, 0.01); d > crit {
+		t.Errorf("uniform sample rejected: D=%v > crit=%v", d, crit)
+	}
+}
+
+func TestKSExactSmallSample(t *testing.T) {
+	// Sample {0.5} against U(0,1): F_n jumps 0→1 at 0.5, F(0.5)=0.5,
+	// so D = 0.5.
+	d := KolmogorovSmirnov([]float64{0.5}, func(x float64) float64 { return x })
+	if math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("D = %v, want 0.5", d)
+	}
+}
+
+func TestKSCriticalValueKnown(t *testing.T) {
+	// The classic α=0.05 constant is 1.3581/√n.
+	if got := KSCriticalValue(100, 0.05) * 10; math.Abs(got-1.3581) > 1e-3 {
+		t.Errorf("c(0.05) = %v, want ≈1.3581", got)
+	}
+	// Monotone: stricter α → larger threshold.
+	if KSCriticalValue(100, 0.01) <= KSCriticalValue(100, 0.05) {
+		t.Error("critical value not monotone in α")
+	}
+}
+
+func TestKSPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { KolmogorovSmirnov(nil, func(float64) float64 { return 0 }) },
+		func() { KSNormal([]float64{1}, 0, 0) },
+		func() { KSCriticalValue(0, 0.05) },
+		func() { KSCriticalValue(10, 0) },
+		func() { KSCriticalValue(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKSDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	KolmogorovSmirnov(xs, NormalCDF)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("KS mutated its input")
+	}
+}

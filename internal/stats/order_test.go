@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedMaxExactSmallN(t *testing.T) {
+	// Closed forms: E[max of 2] = 1/√π, E[max of 3] = 3/(2√π).
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 0},
+		{2, 1 / math.Sqrt(math.Pi)},
+		{3, 3 / (2 * math.Sqrt(math.Pi))},
+	}
+	for _, c := range cases {
+		if got := ExpectedMaxNormalExact(c.n); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("ExpectedMaxNormalExact(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestExpectedMaxExactMatchesMonteCarlo(t *testing.T) {
+	r := NewRNG(99)
+	for _, n := range []int{4, 16, 64} {
+		const trials = 20000
+		sum := 0.0
+		for tr := 0; tr < trials; tr++ {
+			m := math.Inf(-1)
+			for i := 0; i < n; i++ {
+				if v := r.NormFloat64(); v > m {
+					m = v
+				}
+			}
+			sum += m
+		}
+		mc := sum / trials
+		exact := ExpectedMaxNormalExact(n)
+		if math.Abs(mc-exact) > 0.02 {
+			t.Errorf("n=%d: exact %v vs Monte Carlo %v", n, exact, mc)
+		}
+	}
+}
+
+func TestAsymptoticApproachesExact(t *testing.T) {
+	// The Eq. 5 asymptote should be within a few percent of the exact value
+	// for the system sizes the paper studies.
+	for _, n := range []int{64, 256, 1024, 4096} {
+		exact := ExpectedMaxNormalExact(n)
+		asym := ExpectedMaxNormalAsymptotic(n)
+		rel := math.Abs(asym-exact) / exact
+		if rel > 0.06 {
+			t.Errorf("n=%d: asymptote %v vs exact %v (rel err %.3f)", n, asym, exact, rel)
+		}
+	}
+}
+
+func TestExpectedMaxMonotoneInN(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096} {
+		v := ExpectedMaxNormalExact(n)
+		if v <= prev {
+			t.Fatalf("expected max not increasing at n=%d: %v <= %v", n, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestOrderStatisticSymmetry(t *testing.T) {
+	// E[X_(k)] = −E[X_(n+1−k)] by symmetry of the normal.
+	for _, n := range []int{5, 10, 31} {
+		for k := 1; k <= n; k++ {
+			a := ExpectedOrderStatisticNormal(n, k)
+			b := ExpectedOrderStatisticNormal(n, n+1-k)
+			if math.Abs(a+b) > 1e-7 {
+				t.Errorf("n=%d k=%d: %v and %v not symmetric", n, k, a, b)
+			}
+		}
+	}
+}
+
+func TestOrderStatisticMedianOfOddSampleIsZero(t *testing.T) {
+	for _, n := range []int{3, 7, 15} {
+		if got := ExpectedOrderStatisticNormal(n, (n+1)/2); math.Abs(got) > 1e-8 {
+			t.Errorf("median order statistic of n=%d = %v, want 0", n, got)
+		}
+	}
+}
+
+func TestOrderStatisticMonotoneInK(t *testing.T) {
+	n := 20
+	prev := math.Inf(-1)
+	for k := 1; k <= n; k++ {
+		v := ExpectedOrderStatisticNormal(n, k)
+		if v <= prev {
+			t.Fatalf("order statistics not increasing at k=%d: %v <= %v", k, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestOrderStatisticPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{0, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d did not panic", k)
+				}
+			}()
+			ExpectedOrderStatisticNormal(5, k)
+		}()
+	}
+}
+
+func TestAsymptoticSmallN(t *testing.T) {
+	if got := ExpectedMaxNormalAsymptotic(1); got != 0 {
+		t.Errorf("asymptote for n=1 = %v, want 0", got)
+	}
+	if got := ExpectedMaxNormalAsymptotic(0); got != 0 {
+		t.Errorf("asymptote for n=0 = %v, want 0", got)
+	}
+}
+
+func TestAdaptiveSimpsonAgreesWithGaussLegendre(t *testing.T) {
+	f := func(x float64) float64 { return NormalPDF(x) }
+	gl := gaussLegendre(f, -8, 8, 32)
+	as := AdaptiveSimpson(f, -8, 8, 1e-12)
+	if math.Abs(gl-1) > 1e-10 {
+		t.Errorf("Gauss-Legendre ∫φ = %v, want 1", gl)
+	}
+	if math.Abs(as-1) > 1e-9 {
+		t.Errorf("adaptive Simpson ∫φ = %v, want 1", as)
+	}
+}

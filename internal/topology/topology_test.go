@@ -1,0 +1,394 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassicFullTreeShape(t *testing.T) {
+	// 64 processors, degree 4: a full 3-level tree (16 + 4 + 1 counters).
+	tr := NewClassic(64, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Levels != 3 {
+		t.Errorf("Levels = %d, want 3", tr.Levels)
+	}
+	if got := tr.NumCounters(); got != 21 {
+		t.Errorf("counters = %d, want 21", got)
+	}
+	if got := tr.MaxFanIn(); got != 4 {
+		t.Errorf("max fan-in = %d, want 4", got)
+	}
+	for p := 0; p < 64; p++ {
+		if d := tr.Depth(tr.FirstCounter(p)); d != 3 {
+			t.Fatalf("proc %d depth %d, want 3", p, d)
+		}
+	}
+}
+
+func TestClassicFlatBarrier(t *testing.T) {
+	// Degree ≥ p collapses to a single counter: the paper's observation
+	// that a single counter is optimal for 64 processors at σ = 25 t_c.
+	tr := NewClassic(64, 64)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumCounters() != 1 || tr.Levels != 1 {
+		t.Fatalf("flat tree has %d counters, %d levels", tr.NumCounters(), tr.Levels)
+	}
+	if tr.Counters[0].FanIn() != 64 {
+		t.Fatalf("flat fan-in %d, want 64", tr.Counters[0].FanIn())
+	}
+}
+
+func TestClassicNonFullTree(t *testing.T) {
+	// 56 processors, degree 4: ceil(56/4)=14 leaves, then 4, then 1.
+	tr := NewClassic(56, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Levels != 3 {
+		t.Errorf("Levels = %d, want 3", tr.Levels)
+	}
+	if got := tr.NumCounters(); got != 14+4+1 {
+		t.Errorf("counters = %d, want 19", got)
+	}
+}
+
+func TestClassicDepthMatchesLogD(t *testing.T) {
+	for _, c := range []struct{ p, d, levels int }{
+		{4096, 2, 12}, {4096, 4, 6}, {4096, 8, 4},
+		{4096, 16, 3}, {4096, 64, 2}, {256, 4, 4},
+	} {
+		tr := NewClassic(c.p, c.d)
+		if tr.Levels != c.levels {
+			t.Errorf("p=%d d=%d: levels %d, want %d", c.p, c.d, tr.Levels, c.levels)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("p=%d d=%d: %v", c.p, c.d, err)
+		}
+	}
+}
+
+func TestClassicPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewClassic(0, 4) },
+		func() { NewClassic(8, 1) },
+		func() { NewMCS(0, 4) },
+		func() { NewMCS(8, 1) },
+		func() { NewRing(nil, 4) },
+		func() { NewRing([]int{4, 0}, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMCSEveryCounterHasLocal(t *testing.T) {
+	for _, c := range []struct{ p, d int }{
+		{64, 4}, {256, 4}, {4096, 4}, {4096, 16}, {56, 2}, {56, 16}, {5, 2}, {2, 2},
+	} {
+		tr := NewMCS(c.p, c.d)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("p=%d d=%d: %v", c.p, c.d, err)
+		}
+		for i := range tr.Counters {
+			if tr.Counters[i].Local == NoProc {
+				t.Errorf("p=%d d=%d: counter %d has no local processor", c.p, c.d, i)
+			}
+		}
+	}
+}
+
+func TestMCSFanInBounds(t *testing.T) {
+	tr := NewMCS(4096, 4)
+	for i := range tr.Counters {
+		c := &tr.Counters[i]
+		if len(c.Children) > 0 {
+			// internal: d children + 1 local
+			if got := c.FanIn(); got > tr.Degree+1 {
+				t.Errorf("internal counter %d fan-in %d > d+1", i, got)
+			}
+		} else if got := c.FanIn(); got > tr.Degree+2 {
+			// leaves: up to d+1, +1 slack for uneven distribution
+			t.Errorf("leaf counter %d fan-in %d", i, got)
+		}
+	}
+}
+
+func TestMCSMeanDepthBelowClassic(t *testing.T) {
+	// Attaching processors to internal counters reduces the average depth —
+	// the §4 explanation of MCS's ~5% advantage at degree 4.
+	mcs := NewMCS(4096, 4).ShapeStats()
+	classic := NewClassic(4096, 4).ShapeStats()
+	if mcs.MeanDepth >= classic.MeanDepth {
+		t.Errorf("MCS mean depth %v not below classic %v", mcs.MeanDepth, classic.MeanDepth)
+	}
+}
+
+func TestMCSSingleProcessor(t *testing.T) {
+	tr := NewMCS(1, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumCounters() != 1 || tr.Counters[0].FanIn() != 1 {
+		t.Fatalf("1-processor tree malformed: %+v", tr.Counters)
+	}
+}
+
+func TestRingTreeShape(t *testing.T) {
+	// The paper's KSR setup: two subtrees of 28 processors merged by an
+	// additional level; degree 16 gives initial depth 3 (§7 footnote).
+	tr := NewRing([]int{28, 28}, 16)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.P != 56 {
+		t.Fatalf("P = %d", tr.P)
+	}
+	root := &tr.Counters[tr.Root]
+	if len(root.Children) != 2 || len(root.Procs) != 1 {
+		t.Fatalf("merge root malformed: %+v", root)
+	}
+	// MCS style: the merge root carries ring 0's last processor, at depth 1.
+	if root.Local != 27 || tr.FirstCounter(27) != tr.Root {
+		t.Fatalf("merge root local = %d (first counter %d), want processor 27 at root", root.Local, tr.FirstCounter(27))
+	}
+	if root.RingID != 0 {
+		t.Fatalf("merge root ring %d, want 0", root.RingID)
+	}
+	if d := tr.Depth(tr.FirstCounter(0)); d != 3 {
+		t.Errorf("leaf processor depth %d, want 3 (2 ring levels + merge)", d)
+	}
+	// Ring membership: first 28 processors in ring 0, rest in ring 1.
+	for p := 0; p < 56; p++ {
+		want := 0
+		if p >= 28 {
+			want = 1
+		}
+		if tr.RingOf(p) != want {
+			t.Fatalf("proc %d ring %d, want %d", p, tr.RingOf(p), want)
+		}
+	}
+}
+
+func TestRingSingleRingDegeneratesToMCS(t *testing.T) {
+	tr := NewRing([]int{32}, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mcs := NewMCS(32, 4)
+	if tr.NumCounters() != mcs.NumCounters() || tr.Levels != mcs.Levels {
+		t.Fatalf("single ring shape %d/%d, MCS %d/%d",
+			tr.NumCounters(), tr.Levels, mcs.NumCounters(), mcs.Levels)
+	}
+	if tr.RingOf(0) != 0 {
+		t.Fatal("ring id not recorded")
+	}
+}
+
+func TestSwapMovesVictorUp(t *testing.T) {
+	tr := NewMCS(64, 4)
+	// Pick a processor on a leaf and swap it to the root's local slot.
+	victor := tr.Counters[0].Procs[1] // non-local leaf member
+	rootLocal := tr.Counters[tr.Root].Local
+	if !tr.CanSwap(victor, tr.Root) {
+		t.Fatal("swap to root should be legal")
+	}
+	victim := tr.Swap(victor, tr.Root)
+	if victim != rootLocal {
+		t.Fatalf("victim %d, want previous root local %d", victim, rootLocal)
+	}
+	if tr.FirstCounter(victor) != tr.Root || tr.Counters[tr.Root].Local != victor {
+		t.Fatal("victor not installed at root")
+	}
+	if tr.FirstCounter(victim) != 0 {
+		t.Fatalf("victim first counter %d, want 0", tr.FirstCounter(victim))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapLocalVictorKeepsLocalSlotFilled(t *testing.T) {
+	tr := NewMCS(64, 4)
+	victor := tr.Counters[0].Local
+	victim := tr.Swap(victor, tr.Root)
+	if tr.Counters[0].Local != victim {
+		t.Fatalf("old counter local = %d, want victim %d", tr.Counters[0].Local, victim)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapRejectsNonAncestor(t *testing.T) {
+	tr := NewMCS(64, 4)
+	// Two distinct leaves: neither is an ancestor of the other.
+	victor := tr.Counters[0].Procs[0]
+	if tr.CanSwap(victor, 1) {
+		t.Fatal("swap to sibling leaf should be illegal")
+	}
+	if tr.CanSwap(victor, tr.FirstCounter(victor)) {
+		t.Fatal("swap to own counter should be illegal")
+	}
+}
+
+func TestSwapRejectsCrossRing(t *testing.T) {
+	tr := NewRing([]int{8, 8}, 4)
+	victor0 := 0 // ring 0
+	victor1 := 8 // ring 1
+	// Neither may swap into the other ring's subtree root.
+	for _, ch := range tr.Counters[tr.Root].Children {
+		switch tr.Counters[ch].RingID {
+		case 1:
+			if tr.CanSwap(victor0, ch) {
+				t.Fatal("ring-0 swap into ring-1 subtree should be illegal")
+			}
+		case 0:
+			if tr.CanSwap(victor1, ch) {
+				t.Fatal("ring-1 swap into ring-0 subtree should be illegal")
+			}
+		}
+	}
+	// The merge root belongs to ring 0: only ring-0 processors may take it.
+	if !tr.CanSwap(victor0, tr.Root) {
+		t.Fatal("ring-0 swap to merge root should be legal")
+	}
+	if tr.CanSwap(victor1, tr.Root) {
+		t.Fatal("ring-1 swap to merge root should be illegal")
+	}
+}
+
+func TestSwapPanicsWhenIllegal(t *testing.T) {
+	tr := NewMCS(16, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("illegal swap did not panic")
+		}
+	}()
+	tr.Swap(tr.Counters[0].Procs[0], 1)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := NewMCS(64, 4)
+	cl := tr.Clone()
+	victor := tr.Counters[0].Procs[1]
+	tr.Swap(victor, tr.Root)
+	if cl.FirstCounter(victor) == tr.FirstCounter(victor) {
+		t.Fatal("clone shares placement state with original")
+	}
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every constructed tree validates, attaches each processor
+// exactly once, and has ceil(log_d p)-consistent depth bounds.
+func TestConstructionProperty(t *testing.T) {
+	f := func(pRaw uint16, dRaw uint8, mcs bool) bool {
+		p := int(pRaw%2000) + 1
+		d := int(dRaw%30) + 2
+		var tr *Tree
+		if mcs {
+			tr = NewMCS(p, d)
+		} else {
+			tr = NewClassic(p, d)
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		// Depth of any processor is at most ceil(log_d p) + 1.
+		bound := int(math.Ceil(math.Log(float64(p))/math.Log(float64(d)))) + 1
+		if bound < 1 {
+			bound = 1
+		}
+		for q := 0; q < p; q++ {
+			if tr.Depth(tr.FirstCounter(q)) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any sequence of legal swaps preserves all invariants and the
+// fan-in multiset.
+func TestSwapPreservesInvariantsProperty(t *testing.T) {
+	f := func(seed uint32, ops []uint16) bool {
+		tr := NewMCS(128, 4)
+		fanIns := make(map[int]int)
+		for i := range tr.Counters {
+			fanIns[tr.Counters[i].FanIn()]++
+		}
+		for _, op := range ops {
+			victor := int(op) % tr.P
+			target := int(op>>3) % tr.NumCounters()
+			if tr.CanSwap(victor, target) {
+				tr.Swap(victor, target)
+			}
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		after := make(map[int]int)
+		for i := range tr.Counters {
+			after[tr.Counters[i].FanIn()]++
+		}
+		if len(after) != len(fanIns) {
+			return false
+		}
+		for k, v := range fanIns {
+			if after[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	tr := NewClassic(64, 4)
+	path := tr.PathToRoot(tr.FirstCounter(0))
+	if len(path) != 3 {
+		t.Fatalf("path length %d, want 3", len(path))
+	}
+	if path[len(path)-1] != tr.Root {
+		t.Fatal("path does not end at root")
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if tr.Counters[path[i]].Parent != path[i+1] {
+			t.Fatal("path not parent-linked")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Classic.String() != "classic" || MCS.String() != "mcs" || Ring.String() != "ring" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still print")
+	}
+}
+
+func TestShapeStats(t *testing.T) {
+	s := NewClassic(64, 4).ShapeStats()
+	if s.Counters != 21 || s.Levels != 3 || s.MaxFanIn != 4 || s.MaxDepth != 3 || s.MeanDepth != 3 {
+		t.Fatalf("bad stats: %+v", s)
+	}
+}

@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// corrupt applies a mutation to a fresh tree and asserts Validate reports
+// an error containing want.
+func corrupt(t *testing.T, want string, mutate func(tr *Tree)) {
+	t.Helper()
+	tr := NewMCS(16, 4)
+	mutate(tr)
+	err := tr.Validate()
+	if err == nil {
+		t.Fatalf("corruption %q not detected", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("corruption %q reported as: %v", want, err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	corrupt(t, "no processors", func(tr *Tree) { tr.P = 0 })
+	corrupt(t, "first-counter table", func(tr *Tree) { tr.first = tr.first[:1] })
+	corrupt(t, "root", func(tr *Tree) { tr.Root = -1 })
+	corrupt(t, "root has a parent", func(tr *Tree) { tr.Counters[tr.Root].Parent = 0 })
+	corrupt(t, "has ID", func(tr *Tree) { tr.Counters[0].ID = 5 })
+	corrupt(t, "level", func(tr *Tree) { tr.Counters[0].Level = 7 })
+	corrupt(t, "missing from parent", func(tr *Tree) {
+		// Redirect counter 0's parent to another counter at the right
+		// level that does not list it.
+		c0 := &tr.Counters[0]
+		old := c0.Parent
+		for i := range tr.Counters {
+			if i != old && tr.Counters[i].Level == tr.Counters[old].Level {
+				c0.Parent = i
+				return
+			}
+		}
+		t.Skip("no alternative parent at that level")
+	})
+	corrupt(t, "fan-in 0", func(tr *Tree) {
+		// Orphan a leaf's processors and children.
+		tr.Counters[0].Procs = nil
+		tr.Counters[0].Local = NoProc
+	})
+	corrupt(t, "invalid processor", func(tr *Tree) { tr.Counters[0].Procs[0] = 99 })
+	corrupt(t, "first counter is", func(tr *Tree) { tr.first[tr.Counters[0].Procs[0]] = tr.Root })
+	corrupt(t, "local", func(tr *Tree) { tr.Counters[0].Local = 15 })
+	corrupt(t, "parentless", func(tr *Tree) {
+		// Detach a subtree: two roots.
+		for i := range tr.Counters {
+			if i != tr.Root && tr.Counters[i].Parent == tr.Root {
+				parent := &tr.Counters[tr.Root]
+				for j, ch := range parent.Children {
+					if ch == i {
+						parent.Children = append(parent.Children[:j], parent.Children[j+1:]...)
+						break
+					}
+				}
+				tr.Counters[i].Parent = NoCounter
+				return
+			}
+		}
+	})
+	corrupt(t, "attached", func(tr *Tree) {
+		// Attach a processor twice (to a second leaf as well).
+		p := tr.Counters[0].Procs[0]
+		tr.Counters[1].Procs = append(tr.Counters[1].Procs, p)
+	})
+}
+
+func TestValidateDetectsChildParentMismatch(t *testing.T) {
+	tr := NewMCS(64, 4)
+	// Make a counter claim a child whose Parent points elsewhere, keeping
+	// levels consistent so the deeper check fires.
+	root := &tr.Counters[tr.Root]
+	victim := root.Children[0]
+	grand := tr.Counters[victim].Children[0]
+	root.Children = append(root.Children, grand) // grand.Parent != root
+	if err := tr.Validate(); err == nil {
+		t.Fatal("child/parent mismatch not detected")
+	}
+}
+
+func TestReplaceProcPanicsWhenMissing(t *testing.T) {
+	tr := NewMCS(8, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	replaceProc(&tr.Counters[0], 99, 0)
+}

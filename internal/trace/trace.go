@@ -1,0 +1,220 @@
+// Package trace records and renders barrier-episode traces from the
+// simulator: a per-counter busy timeline (an ASCII Gantt chart of the
+// contention structure) and per-processor path summaries. It exists to
+// make the simulator's behaviour inspectable — the Figure 1 intuition of
+// the paper ("how subsets merge into the last processor's path") becomes
+// directly visible.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"softbarrier/internal/barriersim"
+)
+
+// UpdateEvent is one counter occupancy interval.
+type UpdateEvent struct {
+	Proc    int
+	Counter int
+	Start   float64
+	End     float64
+	Last    bool // completed the counter's fan-in
+}
+
+// SwapEvent is one dynamic-placement swap.
+type SwapEvent struct {
+	Victor, Victim, Counter int
+}
+
+// Episode is the recorded trace of one barrier episode.
+type Episode struct {
+	Arrivals map[int]float64
+	Updates  []UpdateEvent
+	Swaps    []SwapEvent
+	Releaser int
+	Release  float64
+}
+
+// Recorder implements barriersim.Tracer, keeping every episode.
+type Recorder struct {
+	Episodes []Episode
+	// Keep bounds the number of retained episodes (0 = unbounded); older
+	// episodes are dropped from the front.
+	Keep int
+}
+
+var _ barriersim.Tracer = (*Recorder)(nil)
+
+// BeginEpisode starts recording a new episode.
+func (r *Recorder) BeginEpisode() {
+	r.Episodes = append(r.Episodes, Episode{Arrivals: make(map[int]float64), Releaser: -1})
+	if r.Keep > 0 && len(r.Episodes) > r.Keep {
+		r.Episodes = r.Episodes[len(r.Episodes)-r.Keep:]
+	}
+}
+
+func (r *Recorder) cur() *Episode {
+	if len(r.Episodes) == 0 {
+		// Tolerate tracers attached mid-run.
+		r.BeginEpisode()
+	}
+	return &r.Episodes[len(r.Episodes)-1]
+}
+
+// Arrival records a processor arrival.
+func (r *Recorder) Arrival(proc int, t float64) { r.cur().Arrivals[proc] = t }
+
+// Update records a counter occupancy interval.
+func (r *Recorder) Update(proc, c int, start, end float64, last bool) {
+	e := r.cur()
+	e.Updates = append(e.Updates, UpdateEvent{Proc: proc, Counter: c, Start: start, End: end, Last: last})
+}
+
+// Swap records a placement swap.
+func (r *Recorder) Swap(victor, victim, c int) {
+	e := r.cur()
+	e.Swaps = append(e.Swaps, SwapEvent{Victor: victor, Victim: victim, Counter: c})
+}
+
+// Release records the episode release.
+func (r *Recorder) Release(proc int, t float64) {
+	e := r.cur()
+	e.Releaser = proc
+	e.Release = t
+}
+
+// Last returns the most recent episode, or nil if none was recorded.
+func (r *Recorder) Last() *Episode {
+	if len(r.Episodes) == 0 {
+		return nil
+	}
+	return &r.Episodes[len(r.Episodes)-1]
+}
+
+// PathOf returns the counters processor proc updated during the episode,
+// in ascent order.
+func (e *Episode) PathOf(proc int) []int {
+	var path []int
+	for _, u := range e.Updates {
+		if u.Proc == proc {
+			path = append(path, u.Counter)
+		}
+	}
+	return path
+}
+
+// Span returns the episode's time range [min arrival, release].
+func (e *Episode) Span() (lo, hi float64) {
+	first := true
+	for _, t := range e.Arrivals {
+		if first || t < lo {
+			lo = t
+		}
+		first = false
+	}
+	hi = e.Release
+	for _, u := range e.Updates {
+		if u.End > hi {
+			hi = u.End
+		}
+	}
+	return lo, hi
+}
+
+// Timeline renders the episode as an ASCII Gantt chart: one lane per
+// counter that saw traffic, time bucketed into width columns. Each bucket
+// shows '#' when the counter is busy and '.' when idle; the release
+// instant is marked with '|' on a footer rule. Counters are ordered by ID.
+func (e *Episode) Timeline(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	lo, hi := e.Span()
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	scale := float64(width) / (hi - lo)
+
+	counters := map[int][]UpdateEvent{}
+	for _, u := range e.Updates {
+		counters[u.Counter] = append(counters[u.Counter], u)
+	}
+	var ids []int
+	for c := range counters {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "episode: %d updates on %d counters, release %.4gs after first arrival (releaser p%d)\n",
+		len(e.Updates), len(ids), e.Release-lo, e.Releaser)
+	for _, c := range ids {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		for _, u := range counters[c] {
+			s := int((u.Start - lo) * scale)
+			f := int((u.End - lo) * scale)
+			if f >= width {
+				f = width - 1
+			}
+			for i := s; i <= f && i < width; i++ {
+				lane[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "c%-5d %s\n", c, lane)
+	}
+	rule := make([]byte, width)
+	for i := range rule {
+		rule[i] = '-'
+	}
+	if pos := int((e.Release - lo) * scale); pos >= 0 {
+		if pos >= width {
+			pos = width - 1 // release typically coincides with the span end
+		}
+		rule[pos] = '|'
+	}
+	fmt.Fprintf(&b, "       %s\n", rule)
+	return b.String()
+}
+
+// Summary renders per-processor statistics: arrival order of the latest
+// arrivals, the releaser's path, and swap activity.
+func (e *Episode) Summary() string {
+	var b strings.Builder
+	type pa struct {
+		proc int
+		t    float64
+	}
+	var arr []pa
+	for p, t := range e.Arrivals {
+		arr = append(arr, pa{p, t})
+	}
+	sort.Slice(arr, func(i, j int) bool { return arr[i].t > arr[j].t })
+	n := 5
+	if len(arr) < n {
+		n = len(arr)
+	}
+	b.WriteString("latest arrivals:")
+	for _, a := range arr[:n] {
+		fmt.Fprintf(&b, " p%d@%.3g", a.proc, a.t)
+	}
+	b.WriteByte('\n')
+	if e.Releaser >= 0 {
+		fmt.Fprintf(&b, "releaser p%d path: %v\n", e.Releaser, e.PathOf(e.Releaser))
+	}
+	if len(e.Swaps) > 0 {
+		fmt.Fprintf(&b, "swaps: ")
+		for i, s := range e.Swaps {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "p%d→c%d (displacing p%d)", s.Victor, s.Counter, s.Victim)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

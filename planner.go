@@ -1,0 +1,102 @@
+package softbarrier
+
+import "fmt"
+
+// Profile describes a workload's synchronization-relevant properties, in
+// the terms of the paper's evaluation: how many participants, how spread
+// their arrivals are, what a counter update costs, how much fuzzy slack
+// the program exposes, and whether the imbalance is systemic (the same
+// participants are consistently late) rather than freshly random each
+// iteration.
+type Profile struct {
+	// P is the number of participants.
+	P int
+	// Sigma is the standard deviation of arrival times, seconds.
+	Sigma float64
+	// Tc is the counter update cost, seconds; 0 selects the paper's 20µs.
+	Tc float64
+	// Slack is the fuzzy-barrier slack the program can expose, seconds
+	// (0 for a plain barrier).
+	Slack float64
+	// Systemic reports whether the same participants tend to be late
+	// every iteration.
+	Systemic bool
+	// Rings optionally constrains placement to ring-local moves (one
+	// entry per ring); nil means no ring structure.
+	Rings []int
+}
+
+// Recommendation is the planner's output: a barrier configuration with the
+// reasoning that produced it.
+type Recommendation struct {
+	// Degree is the combining-tree degree from the analytic model.
+	Degree int
+	// Dynamic selects the dynamic-placement barrier.
+	Dynamic bool
+	// Fuzzy indicates the program should drive the barrier through
+	// Arrive/Await to exploit its slack.
+	Fuzzy bool
+	// Rationale explains each choice for logs and humans.
+	Rationale string
+}
+
+// Recommend applies the paper's decision procedure to a workload profile:
+// the analytic model (§3–4) picks the tree degree from (p, σ, t_c), and
+// dynamic placement (§5) is enabled exactly when the arrival order is
+// predictable — systemic imbalance, or slack comfortably exceeding the
+// per-iteration spread (the Fig. 5/8/13 condition; below that threshold
+// dynamic placement measured slower than static). It panics for P < 1 or
+// negative quantities.
+func Recommend(pr Profile) Recommendation {
+	if pr.P < 1 {
+		panic("softbarrier: profile needs at least one participant")
+	}
+	if pr.Sigma < 0 || pr.Tc < 0 || pr.Slack < 0 {
+		panic("softbarrier: negative profile quantity")
+	}
+	tc := pr.Tc
+	if tc == 0 {
+		tc = 20e-6
+	}
+	rec := Recommendation{Degree: OptimalDegree(pr.P, pr.Sigma, tc)}
+	rationale := fmt.Sprintf("degree %d from the analytic model (p=%d, σ=%.3gs, t_c=%.3gs)",
+		rec.Degree, pr.P, pr.Sigma, tc)
+
+	// The §7 measurements put the static/dynamic crossover near the point
+	// where the slack covers a few arrival spreads; require 2σ.
+	predictable := pr.Systemic || (pr.Slack > 0 && pr.Slack >= 2*pr.Sigma)
+	if predictable && pr.P > 1 {
+		rec.Dynamic = true
+		if pr.Systemic {
+			rationale += "; dynamic placement on (systemic imbalance makes the late arrivals predictable)"
+		} else {
+			rationale += fmt.Sprintf("; dynamic placement on (slack %.3gs ≥ 2σ keeps slow participants slow across iterations)", pr.Slack)
+		}
+	} else {
+		rationale += "; dynamic placement off (arrival order not predictable enough to beat static placement)"
+	}
+	if pr.Slack > 0 {
+		rec.Fuzzy = true
+		rationale += "; drive the barrier via Arrive/Await to spend the slack"
+	}
+	rec.Rationale = rationale
+	return rec
+}
+
+// Build constructs the recommended barrier for the profile.
+func (r Recommendation) Build(pr Profile) Barrier {
+	if r.Dynamic {
+		if len(pr.Rings) > 0 {
+			return NewDynamicRing(pr.Rings, r.Degree)
+		}
+		return NewDynamic(pr.P, r.Degree)
+	}
+	return NewCombiningTree(pr.P, r.Degree)
+}
+
+// Plan is Recommend followed by Build, for callers that do not need to
+// inspect the recommendation.
+func Plan(pr Profile) (Barrier, Recommendation) {
+	rec := Recommend(pr)
+	return rec.Build(pr), rec
+}

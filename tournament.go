@@ -1,0 +1,95 @@
+package softbarrier
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// TournamentBarrier is the tournament barrier (Hensgen, Finkel & Manber;
+// the variant with statically determined winners, as presented by
+// Mellor-Crummey & Scott): participants pair up over ⌈log₂ p⌉ rounds. In
+// each round the statically chosen loser signals its winner and drops out
+// to wait; the winner advances. The overall champion (participant 0)
+// observes the final round and broadcasts the release by flipping a global
+// sense.
+//
+// Like the dissemination barrier it needs no degree tuning, and like the
+// combining tree its arrival pattern is a (binary) tree — it is the other
+// classic baseline for the paper's imbalance study.
+type TournamentBarrier struct {
+	p      int
+	rounds int
+	// arrive[round][winner] is set by the loser paired with winner.
+	arrive [][]atomic.Uint32
+	sense  atomic.Uint32
+	local  []paddedU64
+	epoch  []paddedU64 // per-participant episode counter (selects flag value)
+}
+
+// NewTournament returns a tournament barrier for p participants.
+func NewTournament(p int) *TournamentBarrier {
+	if p < 1 {
+		panic("softbarrier: need at least one participant")
+	}
+	rounds := 0
+	for 1<<rounds < p {
+		rounds++
+	}
+	b := &TournamentBarrier{p: p, rounds: rounds}
+	b.arrive = make([][]atomic.Uint32, rounds)
+	for r := range b.arrive {
+		b.arrive[r] = make([]atomic.Uint32, p)
+	}
+	b.local = make([]paddedU64, p)
+	b.epoch = make([]paddedU64, p)
+	return b
+}
+
+// Participants returns P.
+func (b *TournamentBarrier) Participants() int { return b.p }
+
+// Rounds returns ⌈log₂ p⌉.
+func (b *TournamentBarrier) Rounds() int { return b.rounds }
+
+// Wait blocks until all participants arrive.
+func (b *TournamentBarrier) Wait(id int) {
+	b.Arrive(id)
+	b.Await(id)
+}
+
+// Arrive plays participant id's tournament rounds; the champion releases
+// the episode.
+func (b *TournamentBarrier) Arrive(id int) {
+	checkID(id, b.p)
+	b.local[id].v = uint64(b.sense.Load())
+	b.epoch[id].v++
+	want := uint32(b.epoch[id].v) // distinct per episode; never reset
+	for r := 0; r < b.rounds; r++ {
+		bit := 1 << r
+		if id&bit != 0 {
+			// Statically determined loser: signal the winner, drop out.
+			b.arrive[r][id&^bit].Store(want)
+			return
+		}
+		partner := id | bit
+		if partner >= b.p {
+			continue // bye: no opponent in this round
+		}
+		for b.arrive[r][id].Load() != want {
+			runtime.Gosched()
+		}
+	}
+	// Champion (id 0): everyone has arrived.
+	b.sense.Add(1)
+}
+
+// Await spins until the episode's release.
+func (b *TournamentBarrier) Await(id int) {
+	checkID(id, b.p)
+	mine := b.local[id].v
+	for uint64(b.sense.Load()) == mine {
+		runtime.Gosched()
+	}
+}
+
+var _ PhasedBarrier = (*TournamentBarrier)(nil)

@@ -1,0 +1,184 @@
+package softbarrier
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"softbarrier/internal/topology"
+)
+
+// TreeBarrier is a software combining-tree barrier: a tree of counters,
+// each protected by its own lock, so that at most degree+1 participants
+// ever contend on the same cache line. A participant updates its first
+// counter; whoever completes a counter's fan-in proceeds to the parent,
+// and completing the root releases the episode.
+//
+// Construct with NewCombiningTree (participants at the leaves only, the
+// Yew/Tzeng/Lawrie structure) or NewMCSTree (one participant attached to
+// every counter, the Mellor-Crummey & Scott structure the paper's §5
+// builds on).
+type TreeBarrier struct {
+	p        int
+	tree     *topology.Tree
+	counters []treeCounter
+
+	relMu   sync.Mutex
+	relCond *sync.Cond
+	gen     uint64
+	myGen   []paddedU64
+
+	// Tree wakeup (optional): instead of a broadcast condition variable,
+	// the releaser wakes participant 0, and each woken participant wakes
+	// its two children in a binary heap layout — the MCS-style wakeup tree
+	// that bounds the number of waiters per flag.
+	treeWakeup bool
+	wakeFlag   []paddedAtomicU64
+}
+
+// paddedAtomicU64 keeps per-participant wakeup flags on separate cache
+// lines.
+type paddedAtomicU64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// TreeOption configures a TreeBarrier at construction.
+type TreeOption func(*TreeBarrier)
+
+// WithTreeWakeup selects tree-propagated wakeup: released participants
+// wake their two heap children instead of everyone blocking on one
+// broadcast condition variable. This bounds the contention of the release
+// path at the cost of log₂ p propagation hops.
+func WithTreeWakeup() TreeOption {
+	return func(b *TreeBarrier) { b.treeWakeup = true }
+}
+
+// treeCounter is one tree node's arrival counter.
+type treeCounter struct {
+	mu    sync.Mutex
+	count int
+	fanIn int
+	_     [32]byte // separate counters across cache lines
+}
+
+// NewCombiningTree returns a classic combining-tree barrier for p
+// participants with the given tree degree (≥2). Degree ≥ p degenerates to
+// a flat central counter.
+func NewCombiningTree(p, degree int, opts ...TreeOption) *TreeBarrier {
+	return newTreeBarrier(topology.NewClassic(p, degree), opts)
+}
+
+// NewMCSTree returns an MCS-style tree barrier for p participants with the
+// given degree: every counter has one statically attached participant,
+// which shortens the average path (§4).
+func NewMCSTree(p, degree int, opts ...TreeOption) *TreeBarrier {
+	return newTreeBarrier(topology.NewMCS(p, degree), opts)
+}
+
+func newTreeBarrier(tree *topology.Tree, opts []TreeOption) *TreeBarrier {
+	b := &TreeBarrier{
+		p:        tree.P,
+		tree:     tree,
+		counters: make([]treeCounter, len(tree.Counters)),
+		myGen:    make([]paddedU64, tree.P),
+	}
+	for i := range b.counters {
+		b.counters[i].fanIn = tree.Counters[i].FanIn()
+	}
+	b.relCond = sync.NewCond(&b.relMu)
+	for _, o := range opts {
+		o(b)
+	}
+	if b.treeWakeup {
+		b.wakeFlag = make([]paddedAtomicU64, b.p)
+	}
+	return b
+}
+
+// Participants returns P.
+func (b *TreeBarrier) Participants() int { return b.p }
+
+// Degree returns the tree's construction degree.
+func (b *TreeBarrier) Degree() int { return b.tree.Degree }
+
+// Levels returns the number of counter levels in the tree.
+func (b *TreeBarrier) Levels() int { return b.tree.Levels }
+
+// Wait blocks until all participants arrive.
+func (b *TreeBarrier) Wait(id int) {
+	b.Arrive(id)
+	b.Await(id)
+}
+
+// Arrive performs participant id's counter ascent. If id completes the
+// root counter it releases the episode before returning.
+func (b *TreeBarrier) Arrive(id int) {
+	checkID(id, b.p)
+	b.relMu.Lock()
+	b.myGen[id].v = b.gen
+	b.relMu.Unlock()
+	b.ascend(b.tree.FirstCounter(id))
+}
+
+// ascend climbs the counter chain starting at counter c, releasing the
+// episode if the root completes.
+func (b *TreeBarrier) ascend(c int) {
+	for c != topology.NoCounter {
+		tc := &b.counters[c]
+		tc.mu.Lock()
+		tc.count++
+		last := tc.count == tc.fanIn
+		if last {
+			tc.count = 0
+		}
+		tc.mu.Unlock()
+		if !last {
+			return
+		}
+		c = b.tree.Counters[c].Parent
+	}
+	// Root completed: release everyone.
+	b.relMu.Lock()
+	b.gen++
+	gen := b.gen
+	b.relCond.Broadcast()
+	b.relMu.Unlock()
+	if b.treeWakeup {
+		b.wakeFlag[0].v.Store(gen)
+	}
+}
+
+// Await blocks participant id until the episode it arrived in completes.
+func (b *TreeBarrier) Await(id int) {
+	checkID(id, b.p)
+	mine := b.myGen[id].v
+	if b.treeWakeup {
+		target := mine + 1
+		var got uint64
+		for {
+			if got = b.wakeFlag[id].v.Load(); got >= target {
+				break
+			}
+			runtime.Gosched()
+		}
+		// Propagate the wakeup (monotone values make overlapping episodes
+		// safe: a flag may carry a newer generation, which is still a
+		// release of our episode's successor and therefore of ours).
+		for _, child := range [2]int{2*id + 1, 2*id + 2} {
+			if child < b.p {
+				if cur := b.wakeFlag[child].v.Load(); cur < got {
+					b.wakeFlag[child].v.Store(got)
+				}
+			}
+		}
+		return
+	}
+	b.relMu.Lock()
+	for b.gen == mine {
+		b.relCond.Wait()
+	}
+	b.relMu.Unlock()
+}
+
+var _ PhasedBarrier = (*TreeBarrier)(nil)
