@@ -1,11 +1,9 @@
 package softbarrier
 
 import (
-	"sync"
 	"sync/atomic"
-	"time"
 
-	"softbarrier/internal/stats"
+	rt "softbarrier/internal/runtime"
 	"softbarrier/internal/topology"
 )
 
@@ -14,31 +12,29 @@ import (
 // paper's conclusion proposes ("barriers that would adapt their degree at
 // run time to minimize their synchronization delay").
 //
-// Every episode it measures the spread of participant arrival times and
-// folds it into an exponentially weighted estimate of σ. Every Interval
-// episodes the participant releasing the barrier re-evaluates the analytic
-// model (OptimalDegree) and, if the recommended degree changed, rebuilds
-// the counter tree before releasing the episode — a point at which no
-// participant can be touching the counters.
+// Every episode the shared internal/runtime recorder measures the spread
+// of participant arrival times, and the releaser folds it into the shared
+// EWMA σ estimator. Every Interval episodes the participant releasing the
+// barrier re-evaluates the analytic model (OptimalDegree) and, if the
+// recommended degree changed, rebuilds the counter tree before releasing
+// the episode — a point at which no participant can be touching the
+// counters. The same measurements feed any installed Observer and, via
+// MeasuredSigma, the planner's measured profiles (RecommendMeasured).
 type AdaptiveBarrier struct {
 	p int
-	// Interval is the number of episodes between degree re-evaluations.
+	// interval is the number of episodes between degree re-evaluations.
 	interval int
 	// tc is the assumed counter update cost fed to the model.
 	tc float64
 
-	relMu   sync.Mutex
-	relCond *sync.Cond
-	gen     uint64
-	myGen   []paddedU64
+	gate  rt.Gate
+	myGen []rt.PaddedUint64
 
-	state   atomic.Pointer[adaptiveState] // replaced only before a release
-	arrival []paddedI64
+	state atomic.Pointer[adaptiveState] // replaced only before a release
 
-	episodes    int
-	sigma       float64 // EWMA of per-episode arrival spread, seconds
-	adaptations uint64
-	now         func() int64 // nanosecond clock, replaceable in tests
+	rec         *rt.Recorder      // always active: the control loop needs the spreads
+	est         rt.SigmaEstimator // EWMA of per-episode arrival spread, seconds
+	adaptations atomic.Uint64
 }
 
 // adaptiveState is the rebuildable part: a topology plus its counters.
@@ -48,21 +44,11 @@ type adaptiveState struct {
 	degree   int
 }
 
-// paddedI64 avoids false sharing between per-participant arrival slots.
-type paddedI64 struct {
-	v int64
-	_ [56]byte
-}
-
-// sigmaEWMAWeight is the weight of the newest episode's spread in the σ
-// estimate.
-const sigmaEWMAWeight = 0.2
-
 // NewAdaptive returns an adaptive barrier for p participants, starting at
 // degree 4 (the classic simultaneous-arrival optimum), re-evaluating every
 // interval episodes (≥1), assuming counter update cost tc seconds (0
 // selects the paper's 20µs — pass a measured value for real deployments).
-func NewAdaptive(p, interval int, tc float64) *AdaptiveBarrier {
+func NewAdaptive(p, interval int, tc float64, opts ...Option) *AdaptiveBarrier {
 	if p < 1 {
 		panic("softbarrier: need at least one participant")
 	}
@@ -75,15 +61,16 @@ func NewAdaptive(p, interval int, tc float64) *AdaptiveBarrier {
 	if tc < 0 {
 		panic("softbarrier: negative counter update cost")
 	}
+	o := applyOptions(opts)
 	b := &AdaptiveBarrier{
 		p:        p,
 		interval: interval,
 		tc:       tc,
-		myGen:    make([]paddedU64, p),
-		arrival:  make([]paddedI64, p),
-		now:      func() int64 { return time.Now().UnixNano() },
+		myGen:    make([]rt.PaddedUint64, p),
 	}
-	b.relCond = sync.NewCond(&b.relMu)
+	b.gate.Init(o.policy)
+	b.rec = o.recorder(p, true)
+	b.est.Init(rt.DefaultSigmaWeight)
 	b.state.Store(newAdaptiveState(p, 4))
 	return b
 }
@@ -104,14 +91,16 @@ func (b *AdaptiveBarrier) Participants() int { return b.p }
 func (b *AdaptiveBarrier) Degree() int { return b.state.Load().degree }
 
 // Sigma returns the current arrival-spread estimate in seconds.
-func (b *AdaptiveBarrier) Sigma() float64 {
-	b.relMu.Lock()
-	defer b.relMu.Unlock()
-	return b.sigma
+func (b *AdaptiveBarrier) Sigma() float64 { return b.est.Sigma() }
+
+// MeasuredSigma implements SigmaSource: the live σ estimate and the number
+// of episodes it is based on, for feeding back into the planner.
+func (b *AdaptiveBarrier) MeasuredSigma() (sigma float64, episodes uint64) {
+	return b.est.Sigma(), b.est.Episodes()
 }
 
 // Adaptations returns how many times the barrier has rebuilt its tree.
-func (b *AdaptiveBarrier) Adaptations() uint64 { return atomic.LoadUint64(&b.adaptations) }
+func (b *AdaptiveBarrier) Adaptations() uint64 { return b.adaptations.Load() }
 
 // Wait blocks until all participants arrive.
 func (b *AdaptiveBarrier) Wait(id int) {
@@ -123,10 +112,9 @@ func (b *AdaptiveBarrier) Wait(id int) {
 // adapting and releasing the episode if id completes the root.
 func (b *AdaptiveBarrier) Arrive(id int) {
 	checkID(id, b.p)
-	b.relMu.Lock()
-	b.myGen[id].v = b.gen
-	b.relMu.Unlock()
-	b.arrival[id].v = b.now()
+	gen := b.gate.Seq()
+	b.rec.Arrive(id, gen)
+	b.myGen[id].V = gen
 
 	st := b.state.Load()
 	c := st.tree.FirstCounter(id)
@@ -149,47 +137,25 @@ func (b *AdaptiveBarrier) Arrive(id int) {
 
 // releaseAndMaybeAdapt runs on the participant that completed the root: a
 // quiescent point for the counters (every participant has finished its
-// ascent). It updates the σ estimate, rebuilds the tree if due, and
-// releases the episode.
+// ascent). It folds the measured spread into the σ estimate, rebuilds the
+// tree if due, emits the episode's telemetry, and releases the episode.
 func (b *AdaptiveBarrier) releaseAndMaybeAdapt(st *adaptiveState) {
-	b.relMu.Lock()
-	spread := b.arrivalSpread()
-	if b.episodes == 0 {
-		b.sigma = spread
-	} else {
-		b.sigma = (1-sigmaEWMAWeight)*b.sigma + sigmaEWMAWeight*spread
-	}
-	b.episodes++
-	if b.episodes%b.interval == 0 {
-		if d := OptimalDegree(b.p, b.sigma, b.tc); d != st.degree {
+	m, _ := b.rec.Measure(b.gate.Seq())
+	b.est.Observe(m.Spread)
+	if b.est.Episodes()%uint64(b.interval) == 0 {
+		if d := OptimalDegree(b.p, b.est.Sigma(), b.tc); d != st.degree {
 			b.state.Store(newAdaptiveState(b.p, d))
-			atomic.AddUint64(&b.adaptations, 1)
+			b.adaptations.Add(1)
 		}
 	}
-	b.gen++
-	b.relCond.Broadcast()
-	b.relMu.Unlock()
-}
-
-// arrivalSpread returns the sample standard deviation of this episode's
-// arrival times in seconds.
-func (b *AdaptiveBarrier) arrivalSpread() float64 {
-	xs := make([]float64, b.p)
-	for i := range xs {
-		xs[i] = float64(b.arrival[i].v) * 1e-9
-	}
-	return stats.StdDev(xs)
+	b.rec.Emit(m, rt.Extra{Adaptations: b.adaptations.Load(), Degree: b.Degree()})
+	b.gate.Open()
 }
 
 // Await blocks participant id until the episode it arrived in completes.
 func (b *AdaptiveBarrier) Await(id int) {
 	checkID(id, b.p)
-	mine := b.myGen[id].v
-	b.relMu.Lock()
-	for b.gen == mine {
-		b.relCond.Wait()
-	}
-	b.relMu.Unlock()
+	b.gate.Await(b.myGen[id].V)
 }
 
 var _ PhasedBarrier = (*AdaptiveBarrier)(nil)

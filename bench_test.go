@@ -189,6 +189,35 @@ func benchBarrier(b *testing.B, bar Barrier, p int) {
 	wg.Wait()
 }
 
+// BenchmarkWaiterPolicies compares the waiter's wait policies on the two
+// barriers where the policy choice matters most — the central barrier
+// (every participant parks on one gate) and the combining tree (gate
+// release after a lock ascent) — at P well below, near, and above
+// GOMAXPROCS. "spin" busy-polls long enough that episodes at these scales
+// never park; "park" disables spinning and yields straight to the channel
+// park; "default" is the shipped spin→yield→park ramp.
+func BenchmarkWaiterPolicies(b *testing.B) {
+	policies := []struct {
+		name   string
+		policy WaitPolicy
+	}{
+		{"default", DefaultWaitPolicy()},
+		{"spin", WaitPolicy{Spin: 1 << 16, Yield: 1 << 10}},
+		{"park", WaitPolicy{Spin: 0, Yield: 0}},
+	}
+	for _, p := range []int{4, 16, 64} {
+		for _, pol := range policies {
+			p, pol := p, pol
+			b.Run(fmt.Sprintf("central/%s/p=%d", pol.name, p), func(b *testing.B) {
+				benchBarrier(b, NewCentral(p, WithWaitPolicy(pol.policy)), p)
+			})
+			b.Run(fmt.Sprintf("tree-d4/%s/p=%d", pol.name, p), func(b *testing.B) {
+				benchBarrier(b, NewCombiningTree(p, 4, WithWaitPolicy(pol.policy)), p)
+			})
+		}
+	}
+}
+
 // BenchmarkRuntimeBarriers measures one full episode of each runtime
 // barrier implementation at several participant counts. Absolute values
 // reflect the Go scheduler on this host, not the paper's KSR1.

@@ -1,8 +1,9 @@
 package softbarrier
 
 import (
-	"runtime"
 	"sync/atomic"
+
+	rt "softbarrier/internal/runtime"
 )
 
 // CentralBarrier is the classic sense-reversing counter barrier: one shared
@@ -10,25 +11,29 @@ import (
 // updates, which is exactly the contention the combining trees exist to
 // avoid — but when arrivals are spread much wider than the update time, the
 // paper shows this flat barrier is in fact optimal (Fig. 3, large σ).
+//
+// Waiting and telemetry run on the shared internal/runtime core: Await
+// follows the configured spin→yield→park policy (WithWaitPolicy), and an
+// installed Observer (WithObserver) receives one EpisodeStats per episode.
 type CentralBarrier struct {
 	p     int
 	count atomic.Int64
-	sense atomic.Uint64
-	local []paddedU64 // per-participant sense, padded against false sharing
-}
-
-// paddedU64 avoids false sharing between per-participant slots.
-type paddedU64 struct {
-	v uint64
-	_ [56]byte
+	_     [56]byte // keep the hot counter off the gate's generation line
+	gate  rt.Gate
+	local []rt.PaddedUint64 // per-participant sense snapshot, padded against false sharing
+	rec   *rt.Recorder
 }
 
 // NewCentral returns a sense-reversing barrier for p participants.
-func NewCentral(p int) *CentralBarrier {
+func NewCentral(p int, opts ...Option) *CentralBarrier {
 	if p < 1 {
 		panic("softbarrier: need at least one participant")
 	}
-	return &CentralBarrier{p: p, local: make([]paddedU64, p)}
+	o := applyOptions(opts)
+	b := &CentralBarrier{p: p, local: make([]rt.PaddedUint64, p)}
+	b.gate.Init(o.policy)
+	b.rec = o.recorder(p, false)
+	return b
 }
 
 // Participants returns P.
@@ -44,20 +49,22 @@ func (b *CentralBarrier) Wait(id int) {
 // releasing the episode.
 func (b *CentralBarrier) Arrive(id int) {
 	checkID(id, b.p)
-	b.local[id].v = b.sense.Load()
+	sense := b.gate.Seq() // also the 0-based episode index
+	b.rec.Arrive(id, sense)
+	b.local[id].V = sense
 	if b.count.Add(1) == int64(b.p) {
 		b.count.Store(0)
-		b.sense.Add(1)
+		// Telemetry is read before the release: no participant can start
+		// the next episode until the gate opens, so the slots are quiescent.
+		b.rec.Release(sense, rt.Extra{})
+		b.gate.Open()
 	}
 }
 
-// Await spins (yielding to the scheduler) until the sense flips.
+// Await blocks (spin → yield → park) until the sense flips.
 func (b *CentralBarrier) Await(id int) {
 	checkID(id, b.p)
-	mine := b.local[id].v
-	for b.sense.Load() == mine {
-		runtime.Gosched()
-	}
+	b.gate.Await(b.local[id].V)
 }
 
 var _ PhasedBarrier = (*CentralBarrier)(nil)

@@ -14,14 +14,62 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"softbarrier"
 	"softbarrier/internal/sor"
 )
+
+// episodeLog collects every barrier episode's telemetry for the -stats
+// JSON dump. Emission points are serialized by the barrier, but the
+// observer contract does not promise a single goroutine, so lock anyway.
+type episodeLog struct {
+	mu       sync.Mutex
+	episodes []softbarrier.EpisodeStats
+}
+
+func (l *episodeLog) Episode(st softbarrier.EpisodeStats) {
+	l.mu.Lock()
+	l.episodes = append(l.episodes, st)
+	l.mu.Unlock()
+}
+
+// dump writes the collected episodes as JSON to path ("-" for stdout),
+// wrapped with the run configuration and the aggregate view.
+func (l *episodeLog) dump(path string, cfg map[string]any, agg *softbarrier.Aggregate) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"config":   cfg,
+		"summary":  agg.Summary(),
+		"episodes": l.episodes,
+	})
+}
+
+// multiObserver fans one episode stream out to several observers.
+type multiObserver []softbarrier.Observer
+
+func (m multiObserver) Episode(st softbarrier.EpisodeStats) {
+	for _, o := range m {
+		o.Episode(st)
+	}
+}
 
 func main() {
 	var (
@@ -29,24 +77,36 @@ func main() {
 		dx      = flag.Int("dx", 60, "grid rows per worker")
 		dy      = flag.Int("dy", 210, "grid columns")
 		iters   = flag.Int("iters", 200, "relaxation iterations")
-		barrier = flag.String("barrier", "tree", "barrier: central | tree | mcs | dynamic | adaptive")
+		barrier = flag.String("barrier", "tree", "barrier: central | tree | mcs | dynamic | adaptive | dissemination | tournament")
 		degree  = flag.Int("degree", 4, "tree degree for tree-based barriers")
 		method  = flag.String("method", "jacobi", "relaxation method: jacobi (the paper's two-array sweep) | sor (red/black over-relaxation, ω*)")
+		stats   = flag.String("stats", "", "dump per-episode barrier telemetry as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
+
+	var opts []softbarrier.Option
+	log := &episodeLog{}
+	agg := softbarrier.NewAggregate()
+	if *stats != "" {
+		opts = append(opts, softbarrier.WithObserver(multiObserver{log, agg}))
+	}
 
 	var b sor.Barrier
 	switch *barrier {
 	case "central":
-		b = softbarrier.NewCentral(*p)
+		b = softbarrier.NewCentral(*p, opts...)
 	case "tree":
-		b = softbarrier.NewCombiningTree(*p, *degree)
+		b = softbarrier.NewCombiningTree(*p, *degree, opts...)
 	case "mcs":
-		b = softbarrier.NewMCSTree(*p, *degree)
+		b = softbarrier.NewMCSTree(*p, *degree, opts...)
 	case "dynamic":
-		b = softbarrier.NewDynamic(*p, *degree)
+		b = softbarrier.NewDynamic(*p, *degree, opts...)
 	case "adaptive":
-		b = softbarrier.NewAdaptive(*p, 10, 0)
+		b = softbarrier.NewAdaptive(*p, 10, 0, opts...)
+	case "dissemination":
+		b = softbarrier.NewDissemination(*p, opts...)
+	case "tournament":
+		b = softbarrier.NewTournament(*p, opts...)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown barrier %q\n", *barrier)
 		os.Exit(2)
@@ -103,5 +163,21 @@ func main() {
 	if a, ok := b.(*softbarrier.AdaptiveBarrier); ok {
 		fmt.Printf("adaptive barrier: degree %d, σ estimate %v, %d adaptations\n",
 			a.Degree(), time.Duration(a.Sigma()*float64(time.Second)).Round(time.Microsecond), a.Adaptations())
+	}
+
+	if *stats != "" {
+		cfg := map[string]any{
+			"p": *p, "dx": *dx, "dy": *dy, "iters": *iters,
+			"barrier": *barrier, "degree": *degree, "method": *method,
+		}
+		if err := log.dump(*stats, cfg, agg); err != nil {
+			fmt.Fprintf(os.Stderr, "stats dump failed: %v\n", err)
+			os.Exit(1)
+		}
+		if *stats != "-" {
+			sigma, n := agg.MeasuredSigma()
+			fmt.Printf("telemetry: %d episodes to %s, measured σ %v\n",
+				n, *stats, time.Duration(sigma*float64(time.Second)).Round(time.Nanosecond))
+		}
 	}
 }

@@ -1,8 +1,7 @@
 package softbarrier
 
 import (
-	"runtime"
-	"sync/atomic"
+	rt "softbarrier/internal/runtime"
 )
 
 // DisseminationBarrier is the classic dissemination barrier (Hensgen,
@@ -17,39 +16,45 @@ import (
 // *after the last arrival* regardless of the arrival spread, which is why
 // the paper's imbalance-aware combining trees can beat it: they collapse
 // toward O(1) for the late processor.
+//
+// Each round's wait runs on the shared internal/runtime waiter: a bounded
+// spin, a yielding phase, then a park — replacing the former unbounded
+// Gosched loop. Flags carry the (monotone) episode number, with the
+// classic parity split so the two in-flight episodes never share a slot.
 type DisseminationBarrier struct {
 	p      int
 	rounds int
-	// flags[id][round][parity] is the arrival flag signalled to id.
-	flags [][][2]atomic.Uint32
-	// parity/sense are per-participant episode state.
+	policy rt.WaitPolicy
+	// flags[id][2*round+parity] is the arrival flag signalled to id.
+	flags [][]rt.Cell
+	// state is each participant's episode counter.
 	state []dissState
+	rec   *rt.Recorder
 }
 
 type dissState struct {
-	parity int
-	sense  uint32
-	_      [48]byte
+	episode uint64
+	_       [56]byte
 }
 
 // NewDissemination returns a dissemination barrier for p participants.
-func NewDissemination(p int) *DisseminationBarrier {
+func NewDissemination(p int, opts ...Option) *DisseminationBarrier {
 	if p < 1 {
 		panic("softbarrier: need at least one participant")
 	}
+	o := applyOptions(opts)
 	rounds := 0
 	for 1<<rounds < p {
 		rounds++
 	}
-	b := &DisseminationBarrier{p: p, rounds: rounds}
-	b.flags = make([][][2]atomic.Uint32, p)
+	b := &DisseminationBarrier{p: p, rounds: rounds, policy: o.policy}
+	b.flags = make([][]rt.Cell, p)
 	for i := range b.flags {
-		b.flags[i] = make([][2]atomic.Uint32, rounds)
+		b.flags[i] = make([]rt.Cell, 2*rounds)
+		rt.InitCells(b.flags[i])
 	}
 	b.state = make([]dissState, p)
-	for i := range b.state {
-		b.state[i].sense = 1
-	}
+	b.rec = o.recorder(p, false)
 	return b
 }
 
@@ -63,20 +68,26 @@ func (b *DisseminationBarrier) Rounds() int { return b.rounds }
 func (b *DisseminationBarrier) Wait(id int) {
 	checkID(id, b.p)
 	st := &b.state[id]
+	ep := st.episode
+	b.rec.Arrive(id, ep)
+	parity := int(ep & 1)
+	// Flag values are the 1-based episode number: monotone per slot (each
+	// parity slot sees every other episode), and never equal to a cell's
+	// zero initial value.
+	want := ep + 1
 	for r := 0; r < b.rounds; r++ {
 		partner := (id + (1 << r)) % b.p
-		b.flags[partner][r][st.parity].Store(st.sense)
-		for b.flags[id][r][st.parity].Load() != st.sense {
-			runtime.Gosched()
-		}
+		b.flags[partner][2*r+parity].Set(want)
+		b.flags[id][2*r+parity].AwaitAtLeast(want, b.policy)
 	}
-	// Alternate parity each episode; flip sense when the parity wraps, so
-	// the two in-flight episodes' flag values never collide (the MCS-paper
-	// parity/sense scheme).
-	if st.parity == 1 {
-		st.sense = 1 - st.sense
+	if id == 0 {
+		// Participant 0 is the designated telemetry reporter: its exit
+		// happens-after every participant's arrival (transitively through
+		// the signalling rounds), and its own next arrival — which the
+		// same-parity slots' reuse waits on — comes after this read.
+		b.rec.Release(ep, rt.Extra{})
 	}
-	st.parity = 1 - st.parity
+	st.episode++
 }
 
 var _ Barrier = (*DisseminationBarrier)(nil)

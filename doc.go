@@ -21,10 +21,24 @@
 //     and re-derives its degree from the paper's analytic model — the
 //     run-time adaptation the paper's conclusion proposes.
 //
+// The library also ships the classic baselines the paper compares
+// against: DisseminationBarrier (the Hensgen/Finkel/Manber butterfly) and
+// TournamentBarrier.
+//
 // All barriers implement Barrier; the tree-based ones also implement
 // PhasedBarrier, whose split Arrive/Await pair is a fuzzy barrier (Gupta):
 // code placed between the two phases overlaps with other processors'
 // arrival, converting load imbalance into slack instead of idle time.
+//
+// # Waiting and telemetry
+//
+// Every barrier builds on one waiter core (internal/runtime) with a
+// bounded spin → yield → park policy, tunable per barrier via
+// WithWaitPolicy. WithObserver streams per-episode EpisodeStats —
+// arrival spread, synchronization delay, swap and adaptation counts — to
+// any Observer; with no observer installed the telemetry path costs
+// nothing. The Aggregate observer folds episodes into a measured σ that
+// RecommendMeasured feeds back into the planner.
 //
 // # Choosing a degree
 //

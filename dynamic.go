@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	rt "softbarrier/internal/runtime"
 	"softbarrier/internal/topology"
 )
 
@@ -23,19 +24,22 @@ import (
 // communication, paid by the faster processor) and adopts it. Swap writes
 // happen during the ascent, before the victor updates the parent counter,
 // so they are always ordered before the episode's release.
+//
+// Release and telemetry run on the shared internal/runtime core; an
+// installed Observer additionally sees the cumulative swap count per
+// episode.
 type DynamicBarrier struct {
 	p        int
 	tree     *topology.Tree
 	counters []dynCounter
-	first    []paddedU64 // per-participant first counter (owner-written)
+	first    []rt.PaddedUint64 // per-participant first counter (owner-written)
 	ringOf   []int
 
-	relMu   sync.Mutex
-	relCond *sync.Cond
-	gen     uint64
-	myGen   []paddedU64
+	gate  rt.Gate
+	myGen []rt.PaddedUint64
 
 	swaps atomic.Uint64
+	rec   *rt.Recorder
 }
 
 // dynCounter is a tree node's counter plus the dynamic-placement fields.
@@ -61,28 +65,29 @@ type dynCounter struct {
 
 // NewDynamic returns a dynamic-placement barrier for p participants over
 // an MCS-style tree of the given degree.
-func NewDynamic(p, degree int) *DynamicBarrier {
-	return NewDynamicFromTree(topology.NewMCS(p, degree))
+func NewDynamic(p, degree int, opts ...Option) *DynamicBarrier {
+	return NewDynamicFromTree(topology.NewMCS(p, degree), opts...)
 }
 
 // NewDynamicRing returns a dynamic-placement barrier whose tree is
 // ring-constrained (one subtree per ring merged by an extra root), as used
 // on the KSR1: swaps never cross ring boundaries.
-func NewDynamicRing(ringSizes []int, degree int) *DynamicBarrier {
-	return NewDynamicFromTree(topology.NewRing(ringSizes, degree))
+func NewDynamicRing(ringSizes []int, degree int, opts ...Option) *DynamicBarrier {
+	return NewDynamicFromTree(topology.NewRing(ringSizes, degree), opts...)
 }
 
 // NewDynamicFromTree builds the barrier over an explicit topology. Use
 // topology.NewMCS or topology.NewRing; classic trees have no local slots
 // and would never migrate anyone.
-func NewDynamicFromTree(tree *topology.Tree) *DynamicBarrier {
+func NewDynamicFromTree(tree *topology.Tree, opts ...Option) *DynamicBarrier {
+	o := applyOptions(opts)
 	b := &DynamicBarrier{
 		p:        tree.P,
 		tree:     tree,
 		counters: make([]dynCounter, len(tree.Counters)),
-		first:    make([]paddedU64, tree.P),
+		first:    make([]rt.PaddedUint64, tree.P),
 		ringOf:   make([]int, tree.P),
-		myGen:    make([]paddedU64, tree.P),
+		myGen:    make([]rt.PaddedUint64, tree.P),
 	}
 	for i := range b.counters {
 		c := &tree.Counters[i]
@@ -97,10 +102,11 @@ func NewDynamicFromTree(tree *topology.Tree) *DynamicBarrier {
 		}
 	}
 	for id := 0; id < tree.P; id++ {
-		b.first[id].v = uint64(tree.FirstCounter(id))
+		b.first[id].V = uint64(tree.FirstCounter(id))
 		b.ringOf[id] = tree.RingOf(id)
 	}
-	b.relCond = sync.NewCond(&b.relMu)
+	b.gate.Init(o.policy)
+	b.rec = o.recorder(tree.P, false)
 	return b
 }
 
@@ -118,7 +124,7 @@ func (b *DynamicBarrier) Swaps() uint64 { return b.swaps.Load() }
 // slot is owner-written without cross-goroutine synchronization.
 func (b *DynamicBarrier) FirstCounterOf(id int) int {
 	checkID(id, b.p)
-	return int(b.first[id].v)
+	return int(b.first[id].V)
 }
 
 // DepthOf returns the number of counters participant id currently updates
@@ -147,14 +153,14 @@ func (b *DynamicBarrier) Wait(id int) {
 // Arrive performs the dynamic-placement ascent for participant id.
 func (b *DynamicBarrier) Arrive(id int) {
 	checkID(id, b.p)
-	b.relMu.Lock()
-	b.myGen[id].v = b.gen
-	b.relMu.Unlock()
+	gen := b.gate.Seq()
+	b.rec.Arrive(id, gen)
+	b.myGen[id].V = gen
 
 	// Victim side (Fig. 6d): if we were displaced last episode, our stale
 	// counter's Evicted entry names us; adopt the Destination and, when it
 	// is an internal counter, take over its local slot.
-	fc := int(b.first[id].v)
+	fc := int(b.first[id].V)
 	cn := &b.counters[fc]
 	cn.mu.Lock()
 	if cn.evicted == id {
@@ -168,7 +174,7 @@ func (b *DynamicBarrier) Arrive(id int) {
 		}
 		nc.mu.Unlock()
 		fc = dest
-		b.first[id].v = uint64(fc)
+		b.first[id].V = uint64(fc)
 	} else {
 		cn.mu.Unlock()
 	}
@@ -195,14 +201,14 @@ func (b *DynamicBarrier) ascend(id, c int) {
 		// id arrived last in c's whole subtree: position itself here
 		// before touching the parent, so the swap is ordered before any
 		// possible release.
-		if fc := int(b.first[id].v); c != fc {
+		if fc := int(b.first[id].V); c != fc {
 			tc.mu.Lock()
 			if tc.local != topology.NoProc && tc.ring == b.ringOf[id] {
 				tc.evicted = tc.local
 				tc.destination = fc
 				tc.local = id
 				tc.mu.Unlock()
-				b.first[id].v = uint64(c)
+				b.first[id].V = uint64(c)
 				b.swaps.Add(1)
 			} else {
 				tc.mu.Unlock()
@@ -210,22 +216,16 @@ func (b *DynamicBarrier) ascend(id, c int) {
 		}
 		c = tc.parent
 	}
-	// Root completed: release everyone.
-	b.relMu.Lock()
-	b.gen++
-	b.relCond.Broadcast()
-	b.relMu.Unlock()
+	// Root completed: measure while the arrival slots are quiescent, then
+	// release everyone.
+	b.rec.Release(b.gate.Seq(), rt.Extra{Swaps: b.swaps.Load(), Degree: b.tree.Degree})
+	b.gate.Open()
 }
 
 // Await blocks participant id until the episode it arrived in completes.
 func (b *DynamicBarrier) Await(id int) {
 	checkID(id, b.p)
-	mine := b.myGen[id].v
-	b.relMu.Lock()
-	for b.gen == mine {
-		b.relCond.Wait()
-	}
-	b.relMu.Unlock()
+	b.gate.Await(b.myGen[id].V)
 }
 
 var _ PhasedBarrier = (*DynamicBarrier)(nil)

@@ -3,14 +3,37 @@ package softbarrier
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Group runs bulk-synchronous supersteps: a fixed pool of workers executes
 // a step function, with a barrier between consecutive steps so that no
 // worker starts step k+1 before every worker finished step k. It is the
 // BSP-loop boilerplate every barrier user otherwise rewrites.
+//
+// A panicking step function does not strand the other workers: the panic
+// is recovered, every worker stops at the same step boundary, and the
+// panic is re-raised to the caller once the pool has drained (the earliest
+// failing step's lowest-numbered worker wins, mirroring RunErr).
 type Group struct {
 	b Barrier
+
+	mu    sync.Mutex
+	stats GroupStats
+}
+
+// GroupStats aggregates the supersteps a Group has executed across its
+// Run/RunErr/RunFuzzy invocations. For per-episode barrier telemetry
+// (arrival spread, sync delay), construct the group's barrier with
+// WithObserver — e.g. an Aggregate — instead.
+type GroupStats struct {
+	// Runs counts completed Run/RunErr/RunFuzzy invocations (including
+	// ones cut short by an error or panic).
+	Runs int
+	// Steps counts supersteps actually executed across runs.
+	Steps int
+	// Wall is the cumulative wall-clock time spent inside runs.
+	Wall time.Duration
 }
 
 // NewGroup wraps a barrier in a superstep runner. The group's worker count
@@ -20,24 +43,111 @@ func NewGroup(b Barrier) *Group { return &Group{b: b} }
 // Workers returns the number of workers.
 func (g *Group) Workers() int { return g.b.Participants() }
 
+// Barrier returns the barrier synchronizing the group.
+func (g *Group) Barrier() Barrier { return g.b }
+
+// Stats returns the group's cumulative superstep statistics.
+func (g *Group) Stats() GroupStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+func (g *Group) note(start time.Time, steps int) {
+	g.mu.Lock()
+	g.stats.Runs++
+	g.stats.Steps += steps
+	g.stats.Wall += time.Since(start)
+	g.mu.Unlock()
+}
+
+// panicTracker coordinates panic recovery across a worker pool: the first
+// panic of the earliest step wins, and every worker stops at that step's
+// barrier boundary so nobody is stranded mid-episode.
+type panicTracker struct {
+	step atomic.Int64 // earliest panicking step; steps beyond it are skipped
+	vals []any        // per-worker recovered value (first one per worker)
+	at   []int        // per-worker panicking step
+}
+
+func newPanicTracker(p, steps int) *panicTracker {
+	t := &panicTracker{vals: make([]any, p), at: make([]int, p)}
+	t.step.Store(int64(steps))
+	return t
+}
+
+// call runs f, recording a recovered panic against (id, step).
+func (t *panicTracker) call(id, step int, f func()) {
+	defer func() {
+		r := recover()
+		if r == nil || t.vals[id] != nil {
+			return
+		}
+		t.vals[id] = r
+		t.at[id] = step
+		for {
+			cur := t.step.Load()
+			if int64(step) >= cur || t.step.CompareAndSwap(cur, int64(step)) {
+				break
+			}
+		}
+	}()
+	f()
+}
+
+// stopped reports whether step is beyond the panic boundary. Every worker
+// observes the boundary at the same barrier crossing: the panicking step's
+// completion is ordered before this check by the barrier itself.
+func (t *panicTracker) stopped(step int) bool { return int64(step) > t.step.Load() }
+
+// rethrow re-raises the recorded panic, if any: the lowest-numbered worker
+// of the earliest failing step. Call after the pool has drained.
+func (t *panicTracker) rethrow(steps int) {
+	fs := t.step.Load()
+	if fs >= int64(steps) {
+		return
+	}
+	for id := range t.vals {
+		if t.vals[id] != nil && int64(t.at[id]) == fs {
+			panic(t.vals[id])
+		}
+	}
+}
+
+// executed returns how many supersteps actually ran given the panic
+// boundary.
+func (t *panicTracker) executed(steps int) int {
+	if fs := t.step.Load(); fs < int64(steps) {
+		return int(fs) + 1
+	}
+	return steps
+}
+
 // Run spawns one goroutine per worker and executes steps supersteps of
 // fn(id, step), synchronizing after each. It returns when every worker has
-// finished the last step. fn must not panic; a panicking step would strand
-// the other workers at the barrier.
+// finished the last step. If fn panics, the remaining participants are
+// released at the step boundary and the panic is re-raised from Run.
 func (g *Group) Run(steps int, fn func(id, step int)) {
+	start := time.Now()
 	p := g.b.Participants()
+	t := newPanicTracker(p, steps)
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for id := 0; id < p; id++ {
 		go func(id int) {
 			defer wg.Done()
 			for step := 0; step < steps; step++ {
-				fn(id, step)
+				if t.stopped(step) {
+					return
+				}
+				t.call(id, step, func() { fn(id, step) })
 				g.b.Wait(id)
 			}
 		}(id)
 	}
 	wg.Wait()
+	g.note(start, t.executed(steps))
+	t.rethrow(steps)
 }
 
 // RunErr is Run with error propagation: fn may fail, and after a step in
@@ -45,9 +155,13 @@ func (g *Group) Run(steps int, fn func(id, step int)) {
 // finish the step they are in (everyone must reach the barrier or the
 // others would be stranded), so at most one extra step's work runs after
 // the first failure. It returns the error of the lowest-numbered failing
-// worker of the earliest failing step.
+// worker of the earliest failing step. A panic in fn is recovered like in
+// Run and re-raised after the pool drains; panics take precedence over
+// errors.
 func (g *Group) RunErr(steps int, fn func(id, step int) error) error {
+	start := time.Now()
 	p := g.b.Participants()
+	t := newPanicTracker(p, steps)
 	errs := make([]error, p)
 	errStep := make([]int, p)
 	var failedStep atomic.Int64
@@ -58,28 +172,36 @@ func (g *Group) RunErr(steps int, fn func(id, step int) error) error {
 		go func(id int) {
 			defer wg.Done()
 			for step := 0; step < steps; step++ {
-				if int64(step) > failedStep.Load() {
+				if int64(step) > failedStep.Load() || t.stopped(step) {
 					// A previous step failed; every worker observes this
 					// at the same boundary because the barrier ordered
 					// the failing step's completion before this check.
 					return
 				}
-				if err := fn(id, step); err != nil && errs[id] == nil {
-					errs[id] = err
-					errStep[id] = step
-					// Record the earliest failing step.
-					for {
-						cur := failedStep.Load()
-						if int64(step) >= cur || failedStep.CompareAndSwap(cur, int64(step)) {
-							break
+				t.call(id, step, func() {
+					if err := fn(id, step); err != nil && errs[id] == nil {
+						errs[id] = err
+						errStep[id] = step
+						// Record the earliest failing step.
+						for {
+							cur := failedStep.Load()
+							if int64(step) >= cur || failedStep.CompareAndSwap(cur, int64(step)) {
+								break
+							}
 						}
 					}
-				}
+				})
 				g.b.Wait(id)
 			}
 		}(id)
 	}
 	wg.Wait()
+	executed := t.executed(steps)
+	if fs := failedStep.Load(); fs < int64(executed) {
+		executed = int(fs) + 1
+	}
+	g.note(start, executed)
+	t.rethrow(steps)
 	if fs := failedStep.Load(); fs < int64(steps) {
 		for id := 0; id < p; id++ {
 			if errs[id] != nil && int64(errStep[id]) == fs {
@@ -94,29 +216,38 @@ func (g *Group) RunErr(steps int, fn func(id, step int) error) error {
 // the worker arrives at the barrier, executes the slack function (work
 // that needs nothing from other workers this step), and only then blocks.
 // Load imbalance in fn is hidden behind slackFn, the fuzzy-barrier usage
-// the paper's dynamic placement assumes. Either function may be nil.
+// the paper's dynamic placement assumes. Either function may be nil. A
+// panic in either function is recovered like in Run: workers stop at the
+// same step boundary and the panic re-raises from RunFuzzy.
 func (g *Group) RunFuzzy(steps int, fn, slackFn func(id, step int)) {
 	pb, ok := g.b.(PhasedBarrier)
 	if !ok {
 		panic("softbarrier: RunFuzzy needs a PhasedBarrier")
 	}
+	start := time.Now()
 	p := g.b.Participants()
+	t := newPanicTracker(p, steps)
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for id := 0; id < p; id++ {
 		go func(id int) {
 			defer wg.Done()
 			for step := 0; step < steps; step++ {
+				if t.stopped(step) {
+					return
+				}
 				if fn != nil {
-					fn(id, step)
+					t.call(id, step, func() { fn(id, step) })
 				}
 				pb.Arrive(id)
 				if slackFn != nil {
-					slackFn(id, step)
+					t.call(id, step, func() { slackFn(id, step) })
 				}
 				pb.Await(id)
 			}
 		}(id)
 	}
 	wg.Wait()
+	g.note(start, t.executed(steps))
+	t.rethrow(steps)
 }

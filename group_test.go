@@ -1,0 +1,205 @@
+package softbarrier
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupRunPanicReleasesAndRethrows: a panicking worker must not strand
+// the others mid-episode; everyone stops at the panicking step's boundary
+// and the original panic value re-raises from Run.
+func TestGroupRunPanicReleasesAndRethrows(t *testing.T) {
+	const p, steps, panicStep = 4, 6, 2
+	g := NewGroup(NewCombiningTree(p, 4))
+	var maxStep atomic.Int64
+	maxStep.Store(-1)
+
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		g.Run(steps, func(id, step int) {
+			for {
+				cur := maxStep.Load()
+				if int64(step) <= cur || maxStep.CompareAndSwap(cur, int64(step)) {
+					break
+				}
+			}
+			if id == 1 && step == panicStep {
+				panic("worker 1 boom")
+			}
+		})
+	}()
+
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("Run swallowed the panic")
+		}
+		if s, ok := r.(string); !ok || s != "worker 1 boom" {
+			t.Fatalf("re-raised panic value = %v, want the original string", r)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run deadlocked after a worker panic: remaining participants were not released")
+	}
+	// No worker may have started a step past the panic boundary.
+	if got := maxStep.Load(); got != panicStep {
+		t.Errorf("max executed step = %d, want %d (panic boundary)", got, panicStep)
+	}
+	st := g.Stats()
+	if st.Runs != 1 {
+		t.Errorf("stats runs = %d, want 1", st.Runs)
+	}
+	if st.Steps != panicStep+1 {
+		t.Errorf("stats steps = %d, want %d (steps actually executed)", st.Steps, panicStep+1)
+	}
+}
+
+// TestGroupRunEarliestPanicWins: with two panics in different steps, the
+// earlier step's panic is the one re-raised.
+func TestGroupRunEarliestPanicWins(t *testing.T) {
+	const p, steps = 4, 6
+	g := NewGroup(NewCentral(p))
+	var r any
+	func() {
+		defer func() { r = recover() }()
+		g.Run(steps, func(id, step int) {
+			// Worker 3 panics in step 1; worker 0 panics in step 0 of the
+			// same run. Step 0's panic must win even though both fire.
+			if id == 0 && step == 0 {
+				panic("step 0 panic")
+			}
+			if id == 3 && step == 0 {
+				panic("other step 0 panic")
+			}
+		})
+	}()
+	if s, ok := r.(string); !ok || s != "step 0 panic" {
+		t.Fatalf("re-raised %v, want the lowest-numbered worker's step-0 panic", r)
+	}
+}
+
+// TestGroupRunFuzzyPanic: panic recovery also covers the fuzzy runner, in
+// both the dependent and the slack function.
+func TestGroupRunFuzzyPanic(t *testing.T) {
+	const p, steps = 3, 4
+	for _, tc := range []struct {
+		name    string
+		inSlack bool
+	}{
+		{"dependent-fn", false},
+		{"slack-fn", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGroup(NewDynamic(p, 2))
+			done := make(chan any, 1)
+			go func() {
+				defer func() { done <- recover() }()
+				fn := func(id, step int) {
+					if !tc.inSlack && id == 2 && step == 1 {
+						panic(errors.New("fuzzy boom"))
+					}
+				}
+				slack := func(id, step int) {
+					if tc.inSlack && id == 2 && step == 1 {
+						panic(errors.New("fuzzy boom"))
+					}
+				}
+				g.RunFuzzy(steps, fn, slack)
+			}()
+			select {
+			case r := <-done:
+				err, ok := r.(error)
+				if !ok || err.Error() != "fuzzy boom" {
+					t.Fatalf("re-raised %v, want the original error value", r)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("RunFuzzy deadlocked after a panic")
+			}
+		})
+	}
+}
+
+// TestGroupRunErrPanicTakesPrecedence: when a panic and an error occur,
+// the panic re-raises (the error would otherwise be silently dropped).
+func TestGroupRunErrPanic(t *testing.T) {
+	const p, steps = 3, 4
+	g := NewGroup(NewCentral(p))
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		_ = g.RunErr(steps, func(id, step int) error {
+			if id == 0 && step == 1 {
+				return errors.New("plain failure")
+			}
+			if id == 1 && step == 1 {
+				panic("err-run boom")
+			}
+			return nil
+		})
+	}()
+	select {
+	case r := <-done:
+		if s, ok := r.(string); !ok || s != "err-run boom" {
+			t.Fatalf("re-raised %v, want the panic", r)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunErr deadlocked after a panic")
+	}
+}
+
+// TestGroupStats checks the aggregate superstep accounting across runs.
+func TestGroupStats(t *testing.T) {
+	const p = 4
+	g := NewGroup(NewCombiningTree(p, 4))
+	g.Run(3, func(id, step int) {})
+	g.Run(2, func(id, step int) {})
+	if err := g.RunErr(4, func(id, step int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Runs != 3 {
+		t.Errorf("runs = %d, want 3", st.Runs)
+	}
+	if st.Steps != 3+2+4 {
+		t.Errorf("steps = %d, want 9", st.Steps)
+	}
+	if st.Wall <= 0 {
+		t.Errorf("wall = %v, want > 0", st.Wall)
+	}
+}
+
+// TestGroupRunErrStillWorks pins the earliest-failing-step error semantics
+// after the panic-tracker refactor.
+func TestGroupRunErrSemantics(t *testing.T) {
+	const p, steps = 4, 6
+	g := NewGroup(NewCentral(p))
+	wantErr := errors.New("step 2, worker 1")
+	var maxStep atomic.Int64
+	maxStep.Store(-1)
+	err := g.RunErr(steps, func(id, step int) error {
+		for {
+			cur := maxStep.Load()
+			if int64(step) <= cur || maxStep.CompareAndSwap(cur, int64(step)) {
+				break
+			}
+		}
+		if step == 2 {
+			if id == 1 {
+				return wantErr
+			}
+			if id == 3 {
+				return errors.New("step 2, worker 3")
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the lowest-numbered worker's error", err)
+	}
+	// Workers finish the failing step; nobody starts past it.
+	if got := maxStep.Load(); got != 2 {
+		t.Errorf("max executed step = %d, want 2", got)
+	}
+}

@@ -1,0 +1,129 @@
+package runtime
+
+import (
+	"time"
+
+	"softbarrier/internal/stats"
+)
+
+// Recorder collects per-episode arrival timestamps and turns them into
+// EpisodeStats for an Observer. A nil *Recorder is the disabled fast path:
+// every method is a nil-check and return, so barriers built without an
+// observer pay one predictable branch and zero allocations per episode.
+//
+// Arrival slots are double-buffered by episode parity: a participant racing
+// ahead into episode k+1 writes the other buffer, and it cannot reach
+// episode k+2 (same parity as k) before the episode-k releaser — who must
+// release k before anyone passes k+1 — has finished reading. Measure/Emit
+// are called only by the releasing participant, at a point ordered before
+// the episode's release, so they need no locking.
+type Recorder struct {
+	obs      Observer
+	clock    func() int64
+	p        int
+	episode  uint64 // next episode index; releaser-only
+	arrivals [2][]PaddedInt64
+	scratch  []float64 // spread computation buffer; releaser-only
+}
+
+// New returns a recorder for p participants reporting to obs. When obs is
+// nil and always is false it returns nil — the disabled recorder. always
+// forces recording without an observer, for barriers (adaptive) whose own
+// control loop needs the measurements. clock overrides the nanosecond
+// clock; nil selects a monotonic clock zeroed at construction.
+func New(p int, obs Observer, clock func() int64, always bool) *Recorder {
+	if obs == nil && !always {
+		return nil
+	}
+	if clock == nil {
+		base := time.Now()
+		clock = func() int64 { return int64(time.Since(base)) }
+	}
+	r := &Recorder{obs: obs, clock: clock, p: p, scratch: make([]float64, p)}
+	r.arrivals[0] = make([]PaddedInt64, p)
+	r.arrivals[1] = make([]PaddedInt64, p)
+	return r
+}
+
+// Active reports whether arrivals are being recorded.
+func (r *Recorder) Active() bool { return r != nil }
+
+// Arrive timestamps participant id's arrival for the given episode. It
+// must be called before the participant contributes to the episode's
+// completion (counter update, flag signal, …) so the releaser's read of
+// the slot is ordered after the write.
+func (r *Recorder) Arrive(id int, episode uint64) {
+	if r == nil {
+		return
+	}
+	r.arrivals[episode&1][id].V = r.clock()
+}
+
+// Measurement is one episode's raw measurement, produced by Measure and
+// consumed by Emit; the split lets a barrier act on the measured spread
+// (adaptation) before publishing the episode to the observer.
+type Measurement struct {
+	First, Last, Released int64
+	Spread                float64
+}
+
+// Measure reads the episode's arrival slots and timestamps the release. It
+// must be called by the releasing participant before the episode is
+// released, when the slots are quiescent. ok is false on a nil recorder.
+func (r *Recorder) Measure(episode uint64) (m Measurement, ok bool) {
+	if r == nil {
+		return Measurement{}, false
+	}
+	slots := r.arrivals[episode&1]
+	first, last := slots[0].V, slots[0].V
+	for i := range slots {
+		v := slots[i].V
+		r.scratch[i] = float64(v) * 1e-9
+		if v < first {
+			first = v
+		}
+		if v > last {
+			last = v
+		}
+	}
+	return Measurement{First: first, Last: last, Released: r.clock(), Spread: stats.StdDev(r.scratch)}, true
+}
+
+// Emit publishes the measurement to the observer (if any) and advances the
+// episode counter. Like Measure it runs on the releasing participant only.
+func (r *Recorder) Emit(m Measurement, ex Extra) {
+	if r == nil {
+		return
+	}
+	ep := r.episode
+	r.episode++
+	if r.obs == nil {
+		return
+	}
+	delay := float64(m.Released-m.Last) * 1e-9
+	if delay < 0 {
+		delay = 0 // wall-clock skew guard; the clock is monotonic, but stay defensive
+	}
+	r.obs.Episode(EpisodeStats{
+		Episode:      ep,
+		P:            r.p,
+		FirstArrival: m.First,
+		LastArrival:  m.Last,
+		Released:     m.Released,
+		Spread:       m.Spread,
+		SyncDelay:    delay,
+		Swaps:        ex.Swaps,
+		Adaptations:  ex.Adaptations,
+		Degree:       ex.Degree,
+	})
+}
+
+// Release is Measure followed by Emit, for barriers that do not act on the
+// measurement themselves.
+func (r *Recorder) Release(episode uint64, ex Extra) {
+	if r == nil {
+		return
+	}
+	m, _ := r.Measure(episode)
+	r.Emit(m, ex)
+}

@@ -1,0 +1,249 @@
+package runtime
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// parkOnly forces the park path immediately, exercising the blocking
+// primitives rather than the spin/yield escape hatches.
+var parkOnly = WaitPolicy{Spin: 0, Yield: 0}
+
+func TestGateOpenWakesParkedWaiters(t *testing.T) {
+	var g Gate
+	g.Init(parkOnly)
+	const waiters = 8
+	var woken atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(waiters)
+	mine := g.Seq()
+	for i := 0; i < waiters; i++ {
+		go func() {
+			defer wg.Done()
+			g.Await(mine)
+			woken.Add(1)
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // let the waiters park
+	if got := woken.Load(); got != 0 {
+		t.Fatalf("%d waiters returned before Open", got)
+	}
+	if next := g.Open(); next != mine+1 {
+		t.Fatalf("Open returned %d, want %d", next, mine+1)
+	}
+	wg.Wait()
+	if got := woken.Load(); got != waiters {
+		t.Fatalf("woke %d of %d waiters", got, waiters)
+	}
+}
+
+func TestGateAwaitPastGenerationReturnsImmediately(t *testing.T) {
+	var g Gate
+	g.Init(parkOnly)
+	g.Open()
+	done := make(chan struct{})
+	go func() {
+		g.Await(0) // generation already passed
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Await(past generation) blocked")
+	}
+}
+
+func TestGateManyGenerations(t *testing.T) {
+	// Two goroutines ping-pong through generations with every wait parked:
+	// a missed wakeup deadlocks (caught by the test timeout).
+	var g Gate
+	g.Init(parkOnly)
+	const rounds = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < rounds; i++ {
+			g.Await(i)
+		}
+	}()
+	for i := 0; i < rounds; i++ {
+		time.Sleep(50 * time.Microsecond)
+		g.Open()
+	}
+	wg.Wait()
+}
+
+func TestCellParkUnpark(t *testing.T) {
+	var c Cell
+	c.Init()
+	const episodes = 300
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := uint64(1); v <= episodes; v++ {
+			if got := c.AwaitAtLeast(v, parkOnly); got < v {
+				t.Errorf("AwaitAtLeast(%d) returned %d", v, got)
+				return
+			}
+		}
+	}()
+	for v := uint64(1); v <= episodes; v++ {
+		if v%3 == 0 {
+			time.Sleep(20 * time.Microsecond) // let the waiter park sometimes
+		}
+		c.Set(v)
+	}
+	wg.Wait()
+}
+
+func TestCellAwaitSatisfiedValueNeverBlocks(t *testing.T) {
+	var c Cell
+	c.Init()
+	c.Set(5)
+	if got := c.AwaitAtLeast(3, parkOnly); got != 5 {
+		t.Fatalf("AwaitAtLeast(3) = %d, want 5", got)
+	}
+}
+
+func TestCellSpinPolicyStillCorrect(t *testing.T) {
+	var c Cell
+	c.Init()
+	spin := WaitPolicy{Spin: 1 << 20, Yield: 1 << 10}
+	done := make(chan uint64, 1)
+	go func() { done <- c.AwaitAtLeast(1, spin) }()
+	time.Sleep(time.Millisecond)
+	c.Set(1)
+	select {
+	case got := <-done:
+		if got != 1 {
+			t.Fatalf("got %d, want 1", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("spin-policy wait never completed")
+	}
+}
+
+func TestSigmaEstimatorEWMA(t *testing.T) {
+	var e SigmaEstimator
+	e.Init(0.5)
+	if e.Sigma() != 0 || e.Episodes() != 0 {
+		t.Fatal("fresh estimator not zero")
+	}
+	e.Observe(4) // seeds directly
+	if got := e.Sigma(); got != 4 {
+		t.Fatalf("after seed: σ = %v, want 4", got)
+	}
+	e.Observe(8) // 0.5*4 + 0.5*8 = 6
+	if got := e.Sigma(); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("after second observation: σ = %v, want 6", got)
+	}
+	if e.Episodes() != 2 {
+		t.Fatalf("episodes = %d, want 2", e.Episodes())
+	}
+}
+
+func TestSigmaEstimatorDefaultWeight(t *testing.T) {
+	var e SigmaEstimator
+	e.Init(0) // out of range → default
+	e.Observe(1)
+	e.Observe(0)
+	want := (1 - DefaultSigmaWeight) * 1.0
+	if got := e.Sigma(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("σ = %v, want %v", got, want)
+	}
+}
+
+// sliceObserver appends every emission.
+type sliceObserver struct {
+	mu  sync.Mutex
+	eps []EpisodeStats
+}
+
+func (o *sliceObserver) Episode(st EpisodeStats) {
+	o.mu.Lock()
+	o.eps = append(o.eps, st)
+	o.mu.Unlock()
+}
+
+func TestRecorderNilFastPath(t *testing.T) {
+	r := New(4, nil, nil, false)
+	if r != nil {
+		t.Fatal("recorder without observer should be nil")
+	}
+	// All methods must be safe on the nil recorder.
+	r.Arrive(0, 0)
+	if _, ok := r.Measure(0); ok {
+		t.Fatal("nil recorder Measure reported ok")
+	}
+	r.Emit(Measurement{}, Extra{})
+	r.Release(0, Extra{})
+	if r.Active() {
+		t.Fatal("nil recorder reports active")
+	}
+}
+
+func TestRecorderMeasuresSpreadAndDelay(t *testing.T) {
+	now := int64(0)
+	clock := func() int64 { return now }
+	obs := &sliceObserver{}
+	r := New(3, obs, clock, false)
+
+	// Episode 0: arrivals at 0, 1000, 2000 ns; release at 2500 ns.
+	for id, at := range []int64{0, 1000, 2000} {
+		now = at
+		r.Arrive(id, 0)
+	}
+	now = 2500
+	r.Release(0, Extra{Degree: 4})
+
+	// Episode 1 uses the other parity buffer.
+	for id, at := range []int64{3000, 3100, 3200} {
+		now = at
+		r.Arrive(id, 1)
+	}
+	now = 4200
+	r.Release(1, Extra{Swaps: 7})
+
+	if len(obs.eps) != 2 {
+		t.Fatalf("got %d emissions, want 2", len(obs.eps))
+	}
+	e0 := obs.eps[0]
+	if e0.Episode != 0 || e0.P != 3 || e0.FirstArrival != 0 || e0.LastArrival != 2000 || e0.Degree != 4 {
+		t.Fatalf("episode 0 stats wrong: %+v", e0)
+	}
+	if want := 500e-9; math.Abs(e0.SyncDelay-want) > 1e-15 {
+		t.Fatalf("episode 0 sync delay %v, want %v", e0.SyncDelay, want)
+	}
+	if e0.Spread <= 0 {
+		t.Fatalf("episode 0 spread %v, want > 0", e0.Spread)
+	}
+	e1 := obs.eps[1]
+	if e1.Episode != 1 || e1.FirstArrival != 3000 || e1.LastArrival != 3200 || e1.Swaps != 7 {
+		t.Fatalf("episode 1 stats wrong: %+v", e1)
+	}
+	if want := 1000e-9; math.Abs(e1.SyncDelay-want) > 1e-15 {
+		t.Fatalf("episode 1 sync delay %v, want %v", e1.SyncDelay, want)
+	}
+}
+
+func TestRecorderAlwaysActiveWithoutObserver(t *testing.T) {
+	r := New(2, nil, nil, true)
+	if !r.Active() {
+		t.Fatal("always-on recorder inactive")
+	}
+	r.Arrive(0, 0)
+	r.Arrive(1, 0)
+	m, ok := r.Measure(0)
+	if !ok {
+		t.Fatal("Measure not ok")
+	}
+	if m.Last < m.First {
+		t.Fatalf("last %d before first %d", m.Last, m.First)
+	}
+	r.Emit(m, Extra{}) // no observer: must not panic
+}

@@ -1,0 +1,48 @@
+package runtime
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefaultSigmaWeight is the weight of the newest episode's spread in the
+// EWMA σ estimate — the value the adaptive barrier has always used.
+const DefaultSigmaWeight = 0.2
+
+// SigmaEstimator maintains an exponentially weighted moving average of
+// per-episode arrival spreads: the measured σ that run-time adaptation and
+// the planner's measured profiles consume. Observe is called by one
+// goroutine at a time (the episode's releaser, serialized by the barrier's
+// own happens-before edges); Sigma and Episodes may be read concurrently
+// by anyone.
+type SigmaEstimator struct {
+	weight float64
+	bits   atomic.Uint64 // math.Float64bits of the current estimate
+	n      atomic.Uint64
+}
+
+// Init sets the EWMA weight; values outside (0, 1] select
+// DefaultSigmaWeight. The zero estimator must be initialized before use.
+func (e *SigmaEstimator) Init(weight float64) {
+	if weight <= 0 || weight > 1 {
+		weight = DefaultSigmaWeight
+	}
+	e.weight = weight
+}
+
+// Observe folds one episode's spread (seconds) into the estimate. The
+// first observation seeds the EWMA directly.
+func (e *SigmaEstimator) Observe(spread float64) {
+	cur := spread
+	if e.n.Load() > 0 {
+		cur = (1-e.weight)*math.Float64frombits(e.bits.Load()) + e.weight*spread
+	}
+	e.bits.Store(math.Float64bits(cur))
+	e.n.Add(1)
+}
+
+// Sigma returns the current σ estimate in seconds (0 before any episode).
+func (e *SigmaEstimator) Sigma() float64 { return math.Float64frombits(e.bits.Load()) }
+
+// Episodes returns how many spreads have been observed.
+func (e *SigmaEstimator) Episodes() uint64 { return e.n.Load() }

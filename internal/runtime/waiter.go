@@ -1,0 +1,191 @@
+// Package runtime is the shared wait/instrumentation core under every
+// barrier in the root softbarrier package. It provides:
+//
+//   - a tuned waiter primitive with a bounded spin → yield → park policy
+//     (Gate for broadcast releases, Cell for single-waiter signalling),
+//     replacing the per-barrier ad-hoc spin loops and sync.Cond paths;
+//   - cache-line-padded per-participant slots (PaddedUint64, PaddedInt64)
+//     shared by all sense-reversing barriers;
+//   - per-episode arrival telemetry (Observer, EpisodeStats, Recorder)
+//     with a nil-recorder fast path that costs nothing on the hot path;
+//   - the EWMA σ estimator (SigmaEstimator) the adaptive barrier and the
+//     planner's measured profiles consume.
+package runtime
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WaitPolicy bounds the phases a waiter goes through before it parks:
+// Spin busy-polls on the watched atomic, Yield interleaves polls with
+// runtime.Gosched(), and after both budgets are exhausted the waiter parks
+// on a blocking primitive until the signaller wakes it. The zero value
+// parks immediately; DefaultWaitPolicy is the tuned hybrid.
+type WaitPolicy struct {
+	// Spin is the number of busy-poll iterations before yielding.
+	Spin int
+	// Yield is the number of poll+Gosched iterations before parking.
+	Yield int
+}
+
+// DefaultWaitPolicy returns the tuned hybrid policy: a short busy-poll for
+// arrivals already in flight, a yielding phase that keeps the scheduler fed
+// on oversubscribed hosts, then a park so waiters stop burning CPU. On a
+// single-P runtime busy-polling can never observe progress (the signaller
+// cannot be running), so the spin phase is skipped — the same multicore
+// gate the Go runtime applies to its own active spinning.
+func DefaultWaitPolicy() WaitPolicy {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return WaitPolicy{Spin: 0, Yield: 128}
+	}
+	return WaitPolicy{Spin: 128, Yield: 128}
+}
+
+// PaddedUint64 is a uint64 on its own cache line, for owner-written
+// per-participant slots (sense snapshots, generation numbers).
+type PaddedUint64 struct {
+	V uint64
+	_ [56]byte
+}
+
+// PaddedInt64 is an int64 on its own cache line, for owner-written
+// per-participant slots (arrival timestamps).
+type PaddedInt64 struct {
+	V int64
+	_ [56]byte
+}
+
+// Gate is the broadcast half of a sense-reversing barrier: a monotone
+// generation counter that waiters watch and the episode's releaser bumps.
+// Await runs the spin→yield→park progression; parked waiters block on a
+// condition variable the releaser broadcasts. The zero Gate must be
+// prepared with Init before use.
+type Gate struct {
+	seq atomic.Uint64
+	_   [56]byte // keep the hot counter off the mutex's cache line
+
+	policy WaitPolicy
+	mu     sync.Mutex
+	cond   *sync.Cond
+}
+
+// Init prepares the gate with the given wait policy.
+func (g *Gate) Init(p WaitPolicy) {
+	g.policy = p
+	g.cond = sync.NewCond(&g.mu)
+}
+
+// Seq returns the current generation. A participant samples it on arrival
+// and passes the sample to Await; it also doubles as the 0-based episode
+// index while the episode is open.
+func (g *Gate) Seq() uint64 { return g.seq.Load() }
+
+// Open releases the current generation: it bumps the counter and wakes
+// every parked waiter, returning the new generation. Only the episode's
+// releasing participant may call it.
+func (g *Gate) Open() uint64 {
+	// The bump happens under the mutex so a waiter that re-checked the
+	// generation while holding it cannot miss the broadcast.
+	g.mu.Lock()
+	n := g.seq.Add(1)
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	return n
+}
+
+// Await blocks until the generation differs from mine, spinning and
+// yielding within the policy's budgets before parking.
+func (g *Gate) Await(mine uint64) {
+	for i := 0; i <= g.policy.Spin; i++ {
+		if g.seq.Load() != mine {
+			return
+		}
+	}
+	for i := 0; i < g.policy.Yield; i++ {
+		runtime.Gosched()
+		if g.seq.Load() != mine {
+			return
+		}
+	}
+	g.mu.Lock()
+	for g.seq.Load() == mine {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Cell is a cache-line-padded signalling slot carrying a monotonically
+// increasing value, with park support for a single waiter — the building
+// block for dissemination/tournament round flags and tree-propagated
+// wakeups. Writers publish with Set; the (single) waiter blocks with
+// AwaitAtLeast. A Cell must be prepared with Init (or InitCells) before
+// use and must not be copied afterwards.
+type Cell struct {
+	v      atomic.Uint64
+	parked atomic.Uint32
+	_      [4]byte
+	wake   chan struct{}
+	_      [40]byte
+}
+
+// Init allocates the cell's wakeup channel.
+func (c *Cell) Init() { c.wake = make(chan struct{}, 1) }
+
+// InitCells initializes every cell of a freshly allocated slice.
+func InitCells(cells []Cell) {
+	for i := range cells {
+		cells[i].Init()
+	}
+}
+
+// Load returns the cell's current value.
+func (c *Cell) Load() uint64 { return c.v.Load() }
+
+// Set publishes v — which must not decrease the cell's value — and wakes
+// the parked waiter, if any.
+func (c *Cell) Set(v uint64) {
+	c.v.Store(v)
+	// The waiter announces itself (parked=1) before re-checking the value,
+	// and sync/atomic is sequentially consistent, so either we observe the
+	// announcement here or the waiter's re-check observes our store.
+	if c.parked.Load() != 0 {
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// AwaitAtLeast blocks until the cell's value reaches target, returning the
+// value observed. Only one goroutine may wait on a cell at a time.
+func (c *Cell) AwaitAtLeast(target uint64, p WaitPolicy) uint64 {
+	for i := 0; i <= p.Spin; i++ {
+		if v := c.v.Load(); v >= target {
+			return v
+		}
+	}
+	for i := 0; i < p.Yield; i++ {
+		runtime.Gosched()
+		if v := c.v.Load(); v >= target {
+			return v
+		}
+	}
+	for {
+		c.parked.Store(1)
+		if v := c.v.Load(); v >= target {
+			c.parked.Store(0)
+			// Drain a token raced in by the signaller so it cannot wake
+			// the next episode's wait spuriously. (A leftover token is
+			// harmless anyway — the park loop re-checks the value — but
+			// draining keeps wakeups tight.)
+			select {
+			case <-c.wake:
+			default:
+			}
+			return v
+		}
+		<-c.wake
+	}
+}

@@ -1,0 +1,247 @@
+package softbarrier
+
+import (
+	"sync"
+	"testing"
+)
+
+// recordingObserver captures every emitted EpisodeStats. The mutex is
+// defensive: emission points are totally ordered by the barrier itself,
+// but the observer contract does not promise callers run on one goroutine.
+type recordingObserver struct {
+	mu     sync.Mutex
+	events []EpisodeStats
+}
+
+func (r *recordingObserver) Episode(st EpisodeStats) {
+	r.mu.Lock()
+	r.events = append(r.events, st)
+	r.mu.Unlock()
+}
+
+func (r *recordingObserver) snapshot() []EpisodeStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]EpisodeStats(nil), r.events...)
+}
+
+// TestObserverEpisodeStats drives each of the seven barriers through a
+// fixed number of episodes and checks the shared telemetry contract: the
+// observer fires exactly once per episode, with 0-based monotonically
+// increasing episode indices, the right participant count, and coherent
+// timing (last ≥ first arrival, sync delay ≥ 0).
+func TestObserverEpisodeStats(t *testing.T) {
+	const (
+		p        = 5
+		episodes = 40
+	)
+	for name, mk := range map[string]func(Observer) Barrier{
+		"central":       func(o Observer) Barrier { return NewCentral(p, WithObserver(o)) },
+		"tree-d4":       func(o Observer) Barrier { return NewCombiningTree(p, 4, WithObserver(o)) },
+		"mcs-d4":        func(o Observer) Barrier { return NewMCSTree(p, 4, WithObserver(o)) },
+		"dynamic-d4":    func(o Observer) Barrier { return NewDynamic(p, 4, WithObserver(o)) },
+		"adaptive":      func(o Observer) Barrier { return NewAdaptive(p, 64, 0, WithObserver(o)) },
+		"dissemination": func(o Observer) Barrier { return NewDissemination(p, WithObserver(o)) },
+		"tournament":    func(o Observer) Barrier { return NewTournament(p, WithObserver(o)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			obs := &recordingObserver{}
+			bar := mk(obs)
+			var wg sync.WaitGroup
+			wg.Add(p)
+			for id := 0; id < p; id++ {
+				go func(id int) {
+					defer wg.Done()
+					for e := 0; e < episodes; e++ {
+						bar.Wait(id)
+					}
+				}(id)
+			}
+			wg.Wait()
+
+			events := obs.snapshot()
+			if len(events) != episodes {
+				t.Fatalf("observer fired %d times, want exactly %d", len(events), episodes)
+			}
+			for i, st := range events {
+				if st.Episode != uint64(i) {
+					t.Errorf("event %d: episode index %d, want %d (monotone from 0)", i, st.Episode, i)
+				}
+				if st.P != p {
+					t.Errorf("event %d: P = %d, want %d", i, st.P, p)
+				}
+				if st.LastArrival < st.FirstArrival {
+					t.Errorf("event %d: last arrival %d before first arrival %d", i, st.LastArrival, st.FirstArrival)
+				}
+				if st.SyncDelay < 0 {
+					t.Errorf("event %d: negative sync delay %g", i, st.SyncDelay)
+				}
+				if st.Spread < 0 {
+					t.Errorf("event %d: negative spread %g", i, st.Spread)
+				}
+			}
+		})
+	}
+}
+
+// TestObserverSeesSwapsAndAdaptations checks the barrier-specific Extra
+// fields flow through: dynamic reports cumulative swaps, adaptive reports
+// its adaptation count and current degree.
+func TestObserverSeesSwapsAndAdaptations(t *testing.T) {
+	const p, episodes = 4, 8
+	run := func(bar Barrier, obs *recordingObserver) []EpisodeStats {
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for id := 0; id < p; id++ {
+			go func(id int) {
+				defer wg.Done()
+				for e := 0; e < episodes; e++ {
+					bar.Wait(id)
+				}
+			}(id)
+		}
+		wg.Wait()
+		return obs.snapshot()
+	}
+
+	dynObs := &recordingObserver{}
+	dyn := NewDynamic(p, 2, WithObserver(dynObs))
+	events := run(dyn, dynObs)
+	if len(events) != episodes {
+		t.Fatalf("dynamic: %d events, want %d", len(events), episodes)
+	}
+	if got, want := events[len(events)-1].Swaps, dyn.Swaps(); got != want {
+		t.Errorf("dynamic: final event reports %d swaps, barrier reports %d", got, want)
+	}
+
+	adObs := &recordingObserver{}
+	ad := NewAdaptive(p, 64, 0, WithObserver(adObs))
+	events = run(ad, adObs)
+	if len(events) != episodes {
+		t.Fatalf("adaptive: %d events, want %d", len(events), episodes)
+	}
+	last := events[len(events)-1]
+	if last.Degree != ad.Degree() {
+		t.Errorf("adaptive: final event degree %d, barrier degree %d", last.Degree, ad.Degree())
+	}
+	if last.Adaptations != ad.Adaptations() {
+		t.Errorf("adaptive: final event adaptations %d, barrier reports %d", last.Adaptations, ad.Adaptations())
+	}
+}
+
+// TestAggregateObserver folds episodes through the Aggregate observer and
+// checks the summary arithmetic and the SigmaSource implementation.
+func TestAggregateObserver(t *testing.T) {
+	const p, episodes = 6, 25
+	agg := NewAggregate()
+	bar := NewCombiningTree(p, 4, WithObserver(agg))
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			for e := 0; e < episodes; e++ {
+				bar.Wait(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	s := agg.Summary()
+	if s.Episodes != episodes {
+		t.Fatalf("aggregate saw %d episodes, want %d", s.Episodes, episodes)
+	}
+	if s.P != p {
+		t.Errorf("aggregate P = %d, want %d", s.P, p)
+	}
+	if s.MeanSyncDelay < 0 || s.MaxSyncDelay < s.MeanSyncDelay {
+		t.Errorf("incoherent sync delays: mean %g, max %g", s.MeanSyncDelay, s.MaxSyncDelay)
+	}
+	sigma, n := agg.MeasuredSigma()
+	if n != episodes {
+		t.Errorf("MeasuredSigma episodes = %d, want %d", n, episodes)
+	}
+	if sigma < 0 {
+		t.Errorf("negative measured sigma %g", sigma)
+	}
+}
+
+// TestRecommendMeasured checks the planner consumes a live σ estimate:
+// with a seeded source the profile's assumed Sigma is replaced, and with
+// an empty source it is kept.
+func TestRecommendMeasured(t *testing.T) {
+	pr := Profile{P: 64, Sigma: 0, Tc: 20e-6}
+
+	// Unseeded source: the assumed profile stands.
+	empty := &fakeSigma{}
+	if got, want := RecommendMeasured(pr, empty).Degree, Recommend(pr).Degree; got != want {
+		t.Errorf("unseeded source changed the recommendation: got degree %d, want %d", got, want)
+	}
+	if RecommendMeasured(pr, nil).Degree != Recommend(pr).Degree {
+		t.Error("nil source changed the recommendation")
+	}
+
+	// A large measured spread must drive the degree away from the σ=0
+	// optimum, matching a direct Recommend over the measured profile.
+	src := &fakeSigma{sigma: 2e-3, episodes: 100}
+	measured := pr.Measured(src)
+	if measured.Sigma != src.sigma {
+		t.Fatalf("Measured kept Sigma %g, want %g", measured.Sigma, src.sigma)
+	}
+	got := RecommendMeasured(pr, src)
+	want := Recommend(measured)
+	if got.Degree != want.Degree {
+		t.Errorf("RecommendMeasured degree %d, want %d", got.Degree, want.Degree)
+	}
+	if got.Degree == Recommend(pr).Degree {
+		t.Errorf("measured σ=%g did not move the degree off the σ=0 optimum %d", src.sigma, got.Degree)
+	}
+}
+
+type fakeSigma struct {
+	sigma    float64
+	episodes uint64
+}
+
+func (f *fakeSigma) MeasuredSigma() (float64, uint64) { return f.sigma, f.episodes }
+
+// TestAdaptiveIsSigmaSource pins the feedback loop end-to-end: an adaptive
+// barrier's live estimate flows into the planner via the SigmaSource
+// interface.
+func TestAdaptiveIsSigmaSource(t *testing.T) {
+	const p = 4
+	ad := NewAdaptive(p, 64, 0)
+	var src SigmaSource = ad
+	if _, n := src.MeasuredSigma(); n != 0 {
+		t.Fatalf("fresh adaptive barrier reports %d episodes", n)
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			for e := 0; e < 10; e++ {
+				ad.Wait(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if _, n := src.MeasuredSigma(); n != 10 {
+		t.Fatalf("adaptive barrier reports %d episodes, want 10", n)
+	}
+	// The measured profile must be buildable.
+	rec := RecommendMeasured(Profile{P: p, Tc: 20e-6}, src)
+	if rec.Degree < 2 {
+		t.Errorf("measured recommendation degree %d < 2", rec.Degree)
+	}
+}
+
+// TestCentralWaitNoObserverAllocs pins the nil-observer fast path: a Wait
+// episode with no observer installed performs zero heap allocations.
+func TestCentralWaitNoObserverAllocs(t *testing.T) {
+	bar := NewCentral(1)
+	if n := testing.AllocsPerRun(100, func() { bar.Wait(0) }); n != 0 {
+		t.Fatalf("central Wait with no observer allocates %v per episode, want 0", n)
+	}
+}

@@ -1,0 +1,94 @@
+package softbarrier
+
+import (
+	rt "softbarrier/internal/runtime"
+)
+
+// WaitPolicy bounds the phases every barrier's waiter goes through before
+// it parks: Spin busy-poll iterations on the watched atomic, then Yield
+// iterations interleaved with runtime.Gosched(), then a park on a blocking
+// primitive until the releaser wakes it. The zero policy parks
+// immediately; DefaultWaitPolicy is the tuned hybrid every constructor
+// starts from.
+type WaitPolicy struct {
+	// Spin is the number of busy-poll iterations before yielding.
+	Spin int
+	// Yield is the number of poll+Gosched iterations before parking.
+	Yield int
+}
+
+// DefaultWaitPolicy returns the policy barriers use unless overridden with
+// WithWaitPolicy.
+func DefaultWaitPolicy() WaitPolicy {
+	p := rt.DefaultWaitPolicy()
+	return WaitPolicy{Spin: p.Spin, Yield: p.Yield}
+}
+
+// Option configures a barrier at construction. Every constructor in this
+// package accepts options; an option that does not apply to a particular
+// barrier (WithTreeWakeup on a non-tree barrier) is ignored.
+type Option func(*options)
+
+// options is the merged configuration shared by all constructors.
+type options struct {
+	observer   Observer
+	policy     rt.WaitPolicy
+	clock      func() int64
+	treeWakeup bool
+}
+
+func applyOptions(opts []Option) options {
+	o := options{policy: rt.DefaultWaitPolicy()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// recorder builds the barrier's episode recorder; always forces recording
+// even without an observer (the adaptive barrier's control loop needs the
+// measurements). The result is nil — the allocation-free disabled path —
+// when neither applies.
+func (o options) recorder(p int, always bool) *rt.Recorder {
+	return rt.New(p, o.observer, o.clock, always)
+}
+
+// WithObserver installs obs to receive one EpisodeStats per completed
+// episode: episode index, first/last arrival, measured spread σ, sync
+// delay, and the barrier's swap/adaptation counters. Without this option
+// the telemetry path is disabled entirely and costs nothing per episode.
+func WithObserver(obs Observer) Option {
+	return func(o *options) { o.observer = obs }
+}
+
+// WithWaitPolicy overrides the waiter's spin→yield→park budgets. Negative
+// values are treated as zero. WaitPolicy{} parks immediately (lowest CPU
+// burn); large budgets approximate the old pure-spin behaviour.
+func WithWaitPolicy(p WaitPolicy) Option {
+	if p.Spin < 0 {
+		p.Spin = 0
+	}
+	if p.Yield < 0 {
+		p.Yield = 0
+	}
+	return func(o *options) { o.policy = rt.WaitPolicy{Spin: p.Spin, Yield: p.Yield} }
+}
+
+// WithTreeWakeup selects tree-propagated wakeup on TreeBarrier: released
+// participants wake their two heap children instead of everyone parking on
+// one broadcast gate. This bounds the contention of the release path at
+// the cost of log₂ p propagation hops. Other barriers ignore it.
+func WithTreeWakeup() Option {
+	return func(o *options) { o.treeWakeup = true }
+}
+
+// withClock overrides the telemetry clock (tests only).
+func withClock(clock func() int64) Option {
+	return func(o *options) { o.clock = clock }
+}
+
+// TreeOption is the former tree-only option type.
+//
+// Deprecated: all constructors now share Option; TreeOption remains as an
+// alias for source compatibility.
+type TreeOption = Option

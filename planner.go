@@ -83,6 +83,35 @@ func Recommend(pr Profile) Recommendation {
 	return rec
 }
 
+// SigmaSource supplies a measured arrival-spread estimate. AdaptiveBarrier
+// and Aggregate implement it; any Observer that folds EpisodeStats.Spread
+// into its own estimate can too. The episode count lets the planner tell a
+// live estimate from an unseeded one.
+type SigmaSource interface {
+	// MeasuredSigma returns the σ estimate in seconds and the number of
+	// episodes it is based on. episodes == 0 means "no data yet".
+	MeasuredSigma() (sigma float64, episodes uint64)
+}
+
+// Measured returns a copy of the profile with Sigma replaced by src's live
+// estimate, when src has observed at least one episode. This closes the
+// paper's loop: run with WithObserver (or an AdaptiveBarrier), feed the
+// measured spread back, and re-plan with real numbers instead of guesses.
+func (pr Profile) Measured(src SigmaSource) Profile {
+	if src != nil {
+		if sigma, episodes := src.MeasuredSigma(); episodes > 0 {
+			pr.Sigma = sigma
+		}
+	}
+	return pr
+}
+
+// RecommendMeasured is Recommend over the measured profile: the assumed
+// Sigma is overridden by src's estimate when one exists.
+func RecommendMeasured(pr Profile, src SigmaSource) Recommendation {
+	return Recommend(pr.Measured(src))
+}
+
 // Build constructs the recommended barrier for the profile.
 func (r Recommendation) Build(pr Profile) Barrier {
 	if r.Dynamic {

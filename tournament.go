@@ -1,8 +1,7 @@
 package softbarrier
 
 import (
-	"runtime"
-	"sync/atomic"
+	rt "softbarrier/internal/runtime"
 )
 
 // TournamentBarrier is the tournament barrier (Hensgen, Finkel & Manber;
@@ -10,38 +9,46 @@ import (
 // Mellor-Crummey & Scott): participants pair up over ⌈log₂ p⌉ rounds. In
 // each round the statically chosen loser signals its winner and drops out
 // to wait; the winner advances. The overall champion (participant 0)
-// observes the final round and broadcasts the release by flipping a global
-// sense.
+// observes the final round and broadcasts the release.
 //
 // Like the dissemination barrier it needs no degree tuning, and like the
 // combining tree its arrival pattern is a (binary) tree — it is the other
 // classic baseline for the paper's imbalance study.
+//
+// Round flags and the release broadcast run on the shared
+// internal/runtime waiter (bounded spin → yield → park); flags carry the
+// monotone episode number, so no per-participant epoch bookkeeping is
+// needed beyond the release gate's generation.
 type TournamentBarrier struct {
 	p      int
 	rounds int
-	// arrive[round][winner] is set by the loser paired with winner.
-	arrive [][]atomic.Uint32
-	sense  atomic.Uint32
-	local  []paddedU64
-	epoch  []paddedU64 // per-participant episode counter (selects flag value)
+	policy rt.WaitPolicy
+	// arrive[r][winner] is set by the loser paired with winner.
+	arrive [][]rt.Cell
+	gate   rt.Gate
+	local  []rt.PaddedUint64
+	rec    *rt.Recorder
 }
 
 // NewTournament returns a tournament barrier for p participants.
-func NewTournament(p int) *TournamentBarrier {
+func NewTournament(p int, opts ...Option) *TournamentBarrier {
 	if p < 1 {
 		panic("softbarrier: need at least one participant")
 	}
+	o := applyOptions(opts)
 	rounds := 0
 	for 1<<rounds < p {
 		rounds++
 	}
-	b := &TournamentBarrier{p: p, rounds: rounds}
-	b.arrive = make([][]atomic.Uint32, rounds)
+	b := &TournamentBarrier{p: p, rounds: rounds, policy: o.policy}
+	b.arrive = make([][]rt.Cell, rounds)
 	for r := range b.arrive {
-		b.arrive[r] = make([]atomic.Uint32, p)
+		b.arrive[r] = make([]rt.Cell, p)
+		rt.InitCells(b.arrive[r])
 	}
-	b.local = make([]paddedU64, p)
-	b.epoch = make([]paddedU64, p)
+	b.local = make([]rt.PaddedUint64, p)
+	b.gate.Init(o.policy)
+	b.rec = o.recorder(p, false)
 	return b
 }
 
@@ -61,35 +68,33 @@ func (b *TournamentBarrier) Wait(id int) {
 // the episode.
 func (b *TournamentBarrier) Arrive(id int) {
 	checkID(id, b.p)
-	b.local[id].v = uint64(b.sense.Load())
-	b.epoch[id].v++
-	want := uint32(b.epoch[id].v) // distinct per episode; never reset
+	mine := b.gate.Seq() // the 0-based episode index; stable until release
+	b.rec.Arrive(id, mine)
+	b.local[id].V = mine
+	want := mine + 1 // monotone per flag, never the zero initial value
 	for r := 0; r < b.rounds; r++ {
 		bit := 1 << r
 		if id&bit != 0 {
 			// Statically determined loser: signal the winner, drop out.
-			b.arrive[r][id&^bit].Store(want)
+			b.arrive[r][id&^bit].Set(want)
 			return
 		}
 		partner := id | bit
 		if partner >= b.p {
 			continue // bye: no opponent in this round
 		}
-		for b.arrive[r][id].Load() != want {
-			runtime.Gosched()
-		}
+		b.arrive[r][id].AwaitAtLeast(want, b.policy)
 	}
-	// Champion (id 0): everyone has arrived.
-	b.sense.Add(1)
+	// Champion (id 0): everyone has arrived. Measure while the arrival
+	// slots are quiescent, then broadcast the release.
+	b.rec.Release(mine, rt.Extra{})
+	b.gate.Open()
 }
 
-// Await spins until the episode's release.
+// Await blocks (spin → yield → park) until the episode's release.
 func (b *TournamentBarrier) Await(id int) {
 	checkID(id, b.p)
-	mine := b.local[id].v
-	for uint64(b.sense.Load()) == mine {
-		runtime.Gosched()
-	}
+	b.gate.Await(b.local[id].V)
 }
 
 var _ PhasedBarrier = (*TournamentBarrier)(nil)

@@ -1,10 +1,9 @@
 package softbarrier
 
 import (
-	"runtime"
 	"sync"
-	"sync/atomic"
 
+	rt "softbarrier/internal/runtime"
 	"softbarrier/internal/topology"
 )
 
@@ -18,40 +17,28 @@ import (
 // Yew/Tzeng/Lawrie structure) or NewMCSTree (one participant attached to
 // every counter, the Mellor-Crummey & Scott structure the paper's §5
 // builds on).
+//
+// The release path runs on the shared internal/runtime core: waiters
+// follow the configured spin→yield→park policy, and WithTreeWakeup swaps
+// the broadcast gate for an MCS-style binary wakeup tree whose flags park
+// the same way.
 type TreeBarrier struct {
 	p        int
 	tree     *topology.Tree
 	counters []treeCounter
 
-	relMu   sync.Mutex
-	relCond *sync.Cond
-	gen     uint64
-	myGen   []paddedU64
+	gate  rt.Gate
+	myGen []rt.PaddedUint64
 
-	// Tree wakeup (optional): instead of a broadcast condition variable,
-	// the releaser wakes participant 0, and each woken participant wakes
-	// its two children in a binary heap layout — the MCS-style wakeup tree
-	// that bounds the number of waiters per flag.
+	// Tree wakeup (optional): instead of the broadcast gate, the releaser
+	// wakes participant 0, and each woken participant wakes its two
+	// children in a binary heap layout — the MCS-style wakeup tree that
+	// bounds the number of waiters per flag.
 	treeWakeup bool
-	wakeFlag   []paddedAtomicU64
-}
+	policy     rt.WaitPolicy
+	wakeFlag   []rt.Cell
 
-// paddedAtomicU64 keeps per-participant wakeup flags on separate cache
-// lines.
-type paddedAtomicU64 struct {
-	v atomic.Uint64
-	_ [56]byte
-}
-
-// TreeOption configures a TreeBarrier at construction.
-type TreeOption func(*TreeBarrier)
-
-// WithTreeWakeup selects tree-propagated wakeup: released participants
-// wake their two heap children instead of everyone blocking on one
-// broadcast condition variable. This bounds the contention of the release
-// path at the cost of log₂ p propagation hops.
-func WithTreeWakeup() TreeOption {
-	return func(b *TreeBarrier) { b.treeWakeup = true }
+	rec *rt.Recorder
 }
 
 // treeCounter is one tree node's arrival counter.
@@ -65,34 +52,36 @@ type treeCounter struct {
 // NewCombiningTree returns a classic combining-tree barrier for p
 // participants with the given tree degree (≥2). Degree ≥ p degenerates to
 // a flat central counter.
-func NewCombiningTree(p, degree int, opts ...TreeOption) *TreeBarrier {
+func NewCombiningTree(p, degree int, opts ...Option) *TreeBarrier {
 	return newTreeBarrier(topology.NewClassic(p, degree), opts)
 }
 
 // NewMCSTree returns an MCS-style tree barrier for p participants with the
 // given degree: every counter has one statically attached participant,
 // which shortens the average path (§4).
-func NewMCSTree(p, degree int, opts ...TreeOption) *TreeBarrier {
+func NewMCSTree(p, degree int, opts ...Option) *TreeBarrier {
 	return newTreeBarrier(topology.NewMCS(p, degree), opts)
 }
 
-func newTreeBarrier(tree *topology.Tree, opts []TreeOption) *TreeBarrier {
+func newTreeBarrier(tree *topology.Tree, opts []Option) *TreeBarrier {
+	o := applyOptions(opts)
 	b := &TreeBarrier{
-		p:        tree.P,
-		tree:     tree,
-		counters: make([]treeCounter, len(tree.Counters)),
-		myGen:    make([]paddedU64, tree.P),
+		p:          tree.P,
+		tree:       tree,
+		counters:   make([]treeCounter, len(tree.Counters)),
+		myGen:      make([]rt.PaddedUint64, tree.P),
+		treeWakeup: o.treeWakeup,
+		policy:     o.policy,
 	}
 	for i := range b.counters {
 		b.counters[i].fanIn = tree.Counters[i].FanIn()
 	}
-	b.relCond = sync.NewCond(&b.relMu)
-	for _, o := range opts {
-		o(b)
-	}
+	b.gate.Init(o.policy)
 	if b.treeWakeup {
-		b.wakeFlag = make([]paddedAtomicU64, b.p)
+		b.wakeFlag = make([]rt.Cell, b.p)
+		rt.InitCells(b.wakeFlag)
 	}
+	b.rec = o.recorder(tree.P, false)
 	return b
 }
 
@@ -115,9 +104,12 @@ func (b *TreeBarrier) Wait(id int) {
 // root counter it releases the episode before returning.
 func (b *TreeBarrier) Arrive(id int) {
 	checkID(id, b.p)
-	b.relMu.Lock()
-	b.myGen[id].v = b.gen
-	b.relMu.Unlock()
+	// The gate's generation is exactly this participant's episode index:
+	// the episode cannot be released (advancing the generation) before
+	// this arrival contributes to it.
+	gen := b.gate.Seq()
+	b.rec.Arrive(id, gen)
+	b.myGen[id].V = gen
 	b.ascend(b.tree.FirstCounter(id))
 }
 
@@ -138,47 +130,34 @@ func (b *TreeBarrier) ascend(c int) {
 		}
 		c = b.tree.Counters[c].Parent
 	}
-	// Root completed: release everyone.
-	b.relMu.Lock()
-	b.gen++
-	gen := b.gen
-	b.relCond.Broadcast()
-	b.relMu.Unlock()
+	// Root completed: measure while the arrival slots are quiescent, then
+	// release everyone.
+	b.rec.Release(b.gate.Seq(), rt.Extra{Degree: b.tree.Degree})
+	gen := b.gate.Open()
 	if b.treeWakeup {
-		b.wakeFlag[0].v.Store(gen)
+		b.wakeFlag[0].Set(gen)
 	}
 }
 
 // Await blocks participant id until the episode it arrived in completes.
 func (b *TreeBarrier) Await(id int) {
 	checkID(id, b.p)
-	mine := b.myGen[id].v
+	mine := b.myGen[id].V
 	if b.treeWakeup {
-		target := mine + 1
-		var got uint64
-		for {
-			if got = b.wakeFlag[id].v.Load(); got >= target {
-				break
-			}
-			runtime.Gosched()
-		}
+		got := b.wakeFlag[id].AwaitAtLeast(mine+1, b.policy)
 		// Propagate the wakeup (monotone values make overlapping episodes
 		// safe: a flag may carry a newer generation, which is still a
 		// release of our episode's successor and therefore of ours).
 		for _, child := range [2]int{2*id + 1, 2*id + 2} {
 			if child < b.p {
-				if cur := b.wakeFlag[child].v.Load(); cur < got {
-					b.wakeFlag[child].v.Store(got)
+				if cur := b.wakeFlag[child].Load(); cur < got {
+					b.wakeFlag[child].Set(got)
 				}
 			}
 		}
 		return
 	}
-	b.relMu.Lock()
-	for b.gen == mine {
-		b.relCond.Wait()
-	}
-	b.relMu.Unlock()
+	b.gate.Await(mine)
 }
 
 var _ PhasedBarrier = (*TreeBarrier)(nil)
