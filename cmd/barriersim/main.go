@@ -5,8 +5,12 @@
 //
 //	barriersim -p 4096 -degree 16 -sigma 0.25ms [-tree mcs] [-dynamic]
 //	           [-slack 4ms] [-episodes 200] [-warmup 20] [-tc 20us] [-seed 1]
+//	           [-cache DIR] [-workers N]
 //
-// Durations accept Go syntax (e.g. 250us, 0.25ms).
+// Durations accept Go syntax (e.g. 250us, 0.25ms). With -cache, the run's
+// result is memoized on disk under its full configuration, so repeating a
+// configuration is instant; -trace and -tracefile runs bypass the cache
+// (the timeline needs a live simulation, and trace files are not hashed).
 package main
 
 import (
@@ -16,9 +20,10 @@ import (
 	"time"
 
 	"softbarrier/internal/barriersim"
+	"softbarrier/internal/cli"
 	"softbarrier/internal/model"
 	"softbarrier/internal/stats"
-	"softbarrier/internal/topology"
+	"softbarrier/internal/sweep"
 	"softbarrier/internal/trace"
 	"softbarrier/internal/workload"
 )
@@ -29,8 +34,6 @@ func main() {
 		degree   = flag.Int("degree", 4, "combining tree degree")
 		sigma    = flag.Duration("sigma", 250*time.Microsecond, "arrival time standard deviation")
 		tc       = flag.Duration("tc", 20*time.Microsecond, "counter update time")
-		treeKind = flag.String("tree", "classic", "tree kind: classic | mcs | ring")
-		rings    = flag.Int("rings", 2, "number of rings for -tree ring")
 		dynamic  = flag.Bool("dynamic", false, "enable dynamic placement")
 		slack    = flag.Duration("slack", 0, "fuzzy barrier slack (0 = plain barrier)")
 		episodes = flag.Int("episodes", 200, "measured episodes")
@@ -38,6 +41,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "PRNG seed")
 		showTr   = flag.Bool("trace", false, "print the final episode's counter timeline")
 		traceIn  = flag.String("tracefile", "", "replay work times from a trace file (see cmd/tracegen) instead of -sigma")
+		treeF    = cli.AddTreeFlags()
+		engF     = cli.AddEngineFlags()
 	)
 	flag.Parse()
 
@@ -60,23 +65,14 @@ func main() {
 		w = tr
 	}
 
-	var tree *topology.Tree
-	switch *treeKind {
-	case "classic":
-		tree = topology.NewClassic(*p, *degree)
-	case "mcs":
-		tree = topology.NewMCS(*p, *degree)
-	case "ring":
-		sizes := make([]int, *rings)
-		for i := range sizes {
-			sizes[i] = *p / *rings
-			if i < *p%*rings {
-				sizes[i]++
-			}
-		}
-		tree = topology.NewRing(sizes, *degree)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown tree kind %q\n", *treeKind)
+	tree, err := treeF.Build(*p, *degree)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	engine, err := engF.Engine(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -84,14 +80,27 @@ func main() {
 	if w == nil {
 		w = workload.IID{N: *p, Dist: stats.Normal{Sigma: sigma.Seconds()}}
 	}
-	it := workload.NewIterator(w, slack.Seconds(), *seed)
-	sim := barriersim.New(tree, cfg)
 	var rec *trace.Recorder
-	if *showTr {
-		rec = &trace.Recorder{Keep: 1}
-		sim.SetTracer(rec)
+	run := func(int, uint64) barriersim.RunResult {
+		it := workload.NewIterator(w, slack.Seconds(), *seed)
+		sim := barriersim.New(tree, cfg)
+		if *showTr {
+			rec = &trace.Recorder{Keep: 1}
+			sim.SetTracer(rec)
+		}
+		return sim.Run(it, *warmup, *episodes)
 	}
-	rr := sim.Run(it, *warmup, *episodes)
+
+	var rr barriersim.RunResult
+	if engine.Cache != nil && !*showTr && *traceIn == "" {
+		// A single-point sweep buys the on-disk memoization: repeating a
+		// configuration never re-simulates.
+		key := fmt.Sprintf("p=%d d=%d kind=%s cfg=%+v workload=%v slack=%g episodes=%d warmup=%d",
+			*p, *degree, tree.Kind, cfg, w, slack.Seconds(), *episodes, *warmup)
+		rr = sweep.Run(engine, sweep.Spec{Name: "barriersim", Keys: []string{key}, BaseSeed: *seed}, run)[0]
+	} else {
+		rr = run(0, *seed)
+	}
 
 	st := tree.ShapeStats()
 	fmt.Printf("tree: %s degree=%d levels=%d counters=%d mean depth=%.2f\n",
@@ -104,13 +113,13 @@ func main() {
 			*sigma, sigma.Seconds()/tc.Seconds(), *slack, *episodes, *warmup)
 	}
 	fmt.Printf("mean sync delay: %v (update %v + contention %v)\n",
-		dur(rr.MeanSync), dur(rr.MeanUpdate), dur(rr.MeanContention))
-	fmt.Printf("p95 sync delay:  %v\n", dur(stats.Percentile(rr.SyncDelays, 95)))
+		cli.Dur(rr.MeanSync), cli.Dur(rr.MeanUpdate), cli.Dur(rr.MeanContention))
+	fmt.Printf("p95 sync delay:  %v\n", cli.Dur(stats.Percentile(rr.SyncDelays, 95)))
 	fmt.Printf("last proc depth: %.2f   comm overhead: %.3f   swaps/episode: %.2f\n",
 		rr.MeanLastDepth, rr.CommOverhead, rr.MeanSwaps)
 
 	if est, err := model.EstimateDelay(model.Params{P: *p, Degree: *degree, Sigma: sigma.Seconds(), Tc: tc.Seconds()}); err == nil {
-		fmt.Printf("analytic model:  %v\n", dur(est))
+		fmt.Printf("analytic model:  %v\n", cli.Dur(est))
 	} else {
 		fmt.Printf("analytic model:  n/a (%v)\n", err)
 	}
@@ -120,8 +129,4 @@ func main() {
 			fmt.Printf("\nfinal episode timeline (one lane per counter):\n%s\n%s", e.Timeline(100), e.Summary())
 		}
 	}
-}
-
-func dur(sec float64) time.Duration {
-	return time.Duration(sec * float64(time.Second)).Round(100 * time.Nanosecond)
 }

@@ -5,18 +5,24 @@
 //
 // Usage:
 //
-//	degreeopt -p 4096 -sigma 0.5ms [-tc 20us] [-episodes 100] [-mcs] [-seed 1]
+//	degreeopt -p 4096 -sigma 0.5ms [-tc 20us] [-episodes 100] [-tree mcs]
+//	          [-seed 1] [-workers N] [-cache DIR]
+//
+// Candidate degrees simulate in parallel across -workers workers (default:
+// all CPUs); the output is identical for every worker count. With -cache,
+// per-degree results are memoized on disk.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"softbarrier/internal/barriersim"
+	"softbarrier/internal/cli"
 	"softbarrier/internal/model"
 	"softbarrier/internal/stats"
-	"softbarrier/internal/topology"
 )
 
 func main() {
@@ -25,45 +31,44 @@ func main() {
 		sigma    = flag.Duration("sigma", 500*time.Microsecond, "arrival time standard deviation")
 		tc       = flag.Duration("tc", 20*time.Microsecond, "counter update time")
 		episodes = flag.Int("episodes", 100, "episodes per degree")
-		mcs      = flag.Bool("mcs", false, "use MCS-style trees instead of classic")
 		seed     = flag.Uint64("seed", 1, "PRNG seed")
+		treeF    = cli.AddTreeFlags()
+		engF     = cli.AddEngineFlags()
 	)
 	flag.Parse()
 
-	build := topology.NewClassic
-	if *mcs {
-		build = topology.NewMCS
+	build, err := treeF.Builder()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	engine, err := engF.Engine(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	cfg := barriersim.Config{Tc: tc.Seconds()}
 	dist := stats.Normal{Sigma: sigma.Seconds()}
 
-	sweep := barriersim.DegreeSweep(*p, build, cfg, dist, *episodes, *seed)
-	estimates := model.EstimateSweep(*p, sigma.Seconds(), tc.Seconds())
-	estOf := make(map[int]float64, len(estimates))
-	for _, e := range estimates {
-		estOf[e.Degree] = e.Delay
-	}
+	sweep := barriersim.DegreeSweepOn(engine, *p, build, cfg, dist, *episodes, *seed)
+	estOf := model.EstimateByDegree(*p, sigma.Seconds(), tc.Seconds())
 
-	fmt.Printf("p=%d σ=%v (%.1f·t_c) t_c=%v episodes=%d\n\n",
-		*p, *sigma, sigma.Seconds()/tc.Seconds(), *tc, *episodes)
+	fmt.Printf("p=%d σ=%v (%.1f·t_c) t_c=%v episodes=%d tree=%s\n\n",
+		*p, *sigma, sigma.Seconds()/tc.Seconds(), *tc, *episodes, treeF.Kind)
 	fmt.Printf("%8s %7s %14s %14s\n", "degree", "levels", "sim delay", "model delay")
 	for _, r := range sweep {
 		est := "      -"
 		if v, ok := estOf[r.Degree]; ok {
-			est = fmt.Sprintf("%14v", dur(v))
+			est = fmt.Sprintf("%14v", cli.Dur(v))
 		}
-		fmt.Printf("%8d %7d %14v %s\n", r.Degree, r.Levels, dur(r.MeanSync), est)
+		fmt.Printf("%8d %7d %14v %s\n", r.Degree, r.Levels, cli.Dur(r.MeanSync), est)
 	}
 
 	best := barriersim.Best(sweep)
 	estBest := model.EstimateOptimalDegree(*p, sigma.Seconds(), tc.Seconds())
-	fmt.Printf("\nsimulated optimum: degree %d (%v)\n", best.Degree, dur(best.MeanSync))
-	fmt.Printf("model recommends:  degree %d (estimated %v)\n", estBest.Degree, dur(estBest.Delay))
+	fmt.Printf("\nsimulated optimum: degree %d (%v)\n", best.Degree, cli.Dur(best.MeanSync))
+	fmt.Printf("model recommends:  degree %d (estimated %v)\n", estBest.Degree, cli.Dur(estBest.Delay))
 	if d4, ok := barriersim.DelayOf(sweep, 4); ok && best.MeanSync > 0 {
 		fmt.Printf("speedup of optimum over degree 4: %.2f\n", d4/best.MeanSync)
 	}
-}
-
-func dur(sec float64) time.Duration {
-	return time.Duration(sec * float64(time.Second)).Round(100 * time.Nanosecond)
 }

@@ -3,9 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-run FIG3,FIG8] [-episodes 100] [-warmup 20] [-seed 1995] [-markdown]
+//	experiments [-run FIG3,FIG8] [-episodes 100] [-warmup 20] [-seed 1995]
+//	            [-workers N] [-cache DIR] [-markdown]
 //
-// With no -run it reproduces everything in presentation order.
+// With no -run it reproduces everything in presentation order. Each
+// experiment's parameter grid fans out over -workers parallel workers
+// (default: all CPUs); tables are bit-identical for every worker count.
+// With -cache, grid points are memoized on disk and re-runs only simulate
+// configurations that changed.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"softbarrier/internal/cli"
 	"softbarrier/internal/experiments"
 )
 
@@ -28,6 +34,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit tables as JSON (stable format for regression diffing)")
 		plot     = flag.Bool("plot", false, "also render ASCII curve plots for figure-style experiments")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		engFlags = cli.AddEngineFlags()
 	)
 	flag.Parse()
 
@@ -38,16 +45,36 @@ func main() {
 		return
 	}
 
+	// Harness defaults apply only to flags the user did not set: detecting
+	// explicit flags with Visit lets -seed 0 and -warmup 0 mean what they
+	// say instead of being mistaken for "unset".
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
 	o := experiments.DefaultOptions()
-	if *episodes > 0 {
+	if set["episodes"] {
+		if *episodes <= 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -episodes must be positive, got %d\n", *episodes)
+			os.Exit(2)
+		}
 		o.Episodes = *episodes
 	}
-	if *warmup > 0 {
+	if set["warmup"] {
+		if *warmup < 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -warmup must be non-negative, got %d\n", *warmup)
+			os.Exit(2)
+		}
 		o.Warmup = *warmup
 	}
-	if *seed != 0 {
+	if set["seed"] {
 		o.Seed = *seed
 	}
+	engine, err := engFlags.Engine(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	o.Engine = engine
 
 	ids := experiments.IDs()
 	if *run != "" {
@@ -86,5 +113,8 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "[%s took %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if c := engine.Cache; c != nil {
+		fmt.Fprintf(os.Stderr, "[cache: %d hits, %d misses]\n", c.Hits(), c.Misses())
 	}
 }

@@ -1,9 +1,11 @@
 package barriersim
 
 import (
+	"runtime"
 	"testing"
 
 	"softbarrier/internal/stats"
+	"softbarrier/internal/sweep"
 	"softbarrier/internal/topology"
 )
 
@@ -97,5 +99,36 @@ func TestSweepPairsRandomStreams(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("sweep not deterministic at %d: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+func TestDegreeSweepOnMatchesSequential(t *testing.T) {
+	// The engine-backed sweep must be bit-identical to the plain one for
+	// every worker count, and must round-trip through the cache.
+	sequential := DegreeSweep(64, topology.NewClassic, Config{}, stats.Normal{Sigma: 5 * tc}, 10, 7)
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []*sweep.Engine{
+		{Workers: 1},
+		{Workers: 4},
+		{Workers: runtime.GOMAXPROCS(0)},
+		{Workers: 3, Cache: cache}, // cold cache
+		{Workers: 3, Cache: cache}, // warm cache
+	}
+	for n, eng := range engines {
+		got := DegreeSweepOn(eng, 64, topology.NewClassic, Config{}, stats.Normal{Sigma: 5 * tc}, 10, 7)
+		if len(got) != len(sequential) {
+			t.Fatalf("engine %d: %d results, want %d", n, len(got), len(sequential))
+		}
+		for i := range got {
+			if got[i] != sequential[i] {
+				t.Fatalf("engine %d: result %d = %+v, want %+v", n, i, got[i], sequential[i])
+			}
+		}
+	}
+	if cache.Hits() == 0 {
+		t.Error("warm engine never hit the cache")
 	}
 }

@@ -1,0 +1,139 @@
+// Package cli holds the configuration plumbing shared by the simulation
+// commands (cmd/experiments, cmd/degreeopt, cmd/barriersim): the
+// -workers/-cache sweep-engine flags, tree-builder selection, a throttled
+// progress printer, and duration formatting. Keeping it here means each
+// main declares only the flags specific to its own question.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"softbarrier/internal/barriersim"
+	"softbarrier/internal/sweep"
+	"softbarrier/internal/topology"
+)
+
+// EngineFlags carries the shared parallel-sweep configuration.
+type EngineFlags struct {
+	// Workers is the worker-pool bound; 0 selects all CPUs, 1 runs
+	// sequentially. Results are identical either way (internal/sweep).
+	Workers int
+	// CacheDir, when non-empty, is the on-disk result cache directory;
+	// it is created if absent.
+	CacheDir string
+}
+
+// AddEngineFlags registers -workers and -cache on the default FlagSet.
+func AddEngineFlags() *EngineFlags {
+	f := &EngineFlags{}
+	flag.IntVar(&f.Workers, "workers", 0, "parallel sweep workers (0 = all CPUs, 1 = sequential; results identical)")
+	flag.StringVar(&f.CacheDir, "cache", "", "directory for the on-disk sweep result cache (empty = no cache)")
+	return f
+}
+
+// Engine builds the sweep engine the flags describe. Progress is reported
+// to w (nil disables reporting) for sweeps that run long enough to matter.
+func (f *EngineFlags) Engine(w io.Writer) (*sweep.Engine, error) {
+	e := &sweep.Engine{Workers: f.Workers}
+	if f.CacheDir != "" {
+		c, err := sweep.OpenCache(f.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.Cache = c
+	}
+	if w != nil {
+		e.Report = ProgressPrinter(w)
+	}
+	return e, nil
+}
+
+// ProgressPrinter returns a sweep progress callback that prints points
+// done / total with an ETA to w. It stays silent for sweeps that finish
+// within two seconds and then throttles itself to one line per second, so
+// fast grids produce no output at all.
+func ProgressPrinter(w io.Writer) func(sweep.Progress) {
+	var last time.Duration
+	started := false
+	return func(p sweep.Progress) {
+		if p.Elapsed < 2*time.Second {
+			return
+		}
+		if started && p.Done < p.Total && p.Elapsed-last < time.Second {
+			return
+		}
+		started = true
+		last = p.Elapsed
+		line := fmt.Sprintf("sweep %d/%d points", p.Done, p.Total)
+		if p.CacheHits > 0 {
+			line += fmt.Sprintf(" (%d cached)", p.CacheHits)
+		}
+		line += fmt.Sprintf(", elapsed %s", p.Elapsed.Round(100*time.Millisecond))
+		if p.Remaining > 0 {
+			line += fmt.Sprintf(", eta %s", p.Remaining.Round(100*time.Millisecond))
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// TreeFlags carries the shared combining-tree topology configuration.
+type TreeFlags struct {
+	// Kind is "classic", "mcs" or "ring".
+	Kind string
+	// Rings is the ring count for Kind "ring".
+	Rings int
+}
+
+// AddTreeFlags registers -tree and -rings on the default FlagSet.
+func AddTreeFlags() *TreeFlags {
+	f := &TreeFlags{}
+	flag.StringVar(&f.Kind, "tree", "classic", "tree kind: classic | mcs | ring")
+	flag.IntVar(&f.Rings, "rings", 2, "number of rings for -tree ring")
+	return f
+}
+
+// Builder returns the TreeBuilder the flags select. The ring builder
+// splits p processors over the configured number of rings as evenly as
+// possible (earlier rings take the remainder).
+func (f *TreeFlags) Builder() (barriersim.TreeBuilder, error) {
+	switch f.Kind {
+	case "classic":
+		return topology.NewClassic, nil
+	case "mcs":
+		return topology.NewMCS, nil
+	case "ring":
+		rings := f.Rings
+		if rings <= 0 {
+			return nil, fmt.Errorf("cli: -rings must be positive, got %d", rings)
+		}
+		return func(p, d int) *topology.Tree {
+			sizes := make([]int, rings)
+			for i := range sizes {
+				sizes[i] = p / rings
+				if i < p%rings {
+					sizes[i]++
+				}
+			}
+			return topology.NewRing(sizes, d)
+		}, nil
+	}
+	return nil, fmt.Errorf("cli: unknown tree kind %q (want classic, mcs or ring)", f.Kind)
+}
+
+// Build constructs the tree for p processors at the given degree.
+func (f *TreeFlags) Build(p, degree int) (*topology.Tree, error) {
+	build, err := f.Builder()
+	if err != nil {
+		return nil, err
+	}
+	return build(p, degree), nil
+}
+
+// Dur renders a duration in seconds as a time.Duration rounded for
+// display, the formatting shared by the simulation commands.
+func Dur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second)).Round(100 * time.Nanosecond)
+}

@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"softbarrier/internal/sweep"
+)
+
+func TestEngineFlags(t *testing.T) {
+	f := &EngineFlags{Workers: 3}
+	e, err := f.Engine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Workers != 3 || e.Cache != nil {
+		t.Fatalf("engine = %+v", e)
+	}
+
+	f.CacheDir = filepath.Join(t.TempDir(), "cache")
+	e, err = f.Engine(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Cache == nil || e.Cache.Dir() != f.CacheDir {
+		t.Fatalf("cache not opened at %q", f.CacheDir)
+	}
+}
+
+func TestBuilderKinds(t *testing.T) {
+	for _, kind := range []string{"classic", "mcs", "ring"} {
+		f := &TreeFlags{Kind: kind, Rings: 2}
+		build, err := f.Builder()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		tree := build(16, 4)
+		if tree.P != 16 {
+			t.Errorf("%s: built tree for %d processors", kind, tree.P)
+		}
+	}
+	if _, err := (&TreeFlags{Kind: "heap"}).Builder(); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if _, err := (&TreeFlags{Kind: "ring", Rings: 0}).Builder(); err == nil {
+		t.Error("zero rings must error")
+	}
+}
+
+func TestRingBuilderDistributesRemainder(t *testing.T) {
+	f := &TreeFlags{Kind: "ring", Rings: 3}
+	tree, err := f.Build(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.P != 10 {
+		t.Fatalf("ring tree covers %d processors, want 10", tree.P)
+	}
+}
+
+func TestProgressPrinterThrottles(t *testing.T) {
+	var b strings.Builder
+	report := ProgressPrinter(&b)
+	// Below the 2s threshold: silent.
+	report(sweep.Progress{Done: 1, Total: 10, Elapsed: 100 * time.Millisecond})
+	if b.Len() != 0 {
+		t.Fatalf("printed too early: %q", b.String())
+	}
+	report(sweep.Progress{Done: 5, Total: 10, Elapsed: 3 * time.Second, Remaining: 3 * time.Second, CacheHits: 2})
+	out := b.String()
+	if !strings.Contains(out, "5/10") || !strings.Contains(out, "2 cached") || !strings.Contains(out, "eta") {
+		t.Fatalf("progress line %q", out)
+	}
+	// Within a second of the last line: throttled.
+	n := b.Len()
+	report(sweep.Progress{Done: 6, Total: 10, Elapsed: 3*time.Second + 200*time.Millisecond})
+	if b.Len() != n {
+		t.Fatalf("throttle failed: %q", b.String())
+	}
+	// Completion always prints.
+	report(sweep.Progress{Done: 10, Total: 10, Elapsed: 3*time.Second + 300*time.Millisecond})
+	if !strings.Contains(b.String(), "10/10") {
+		t.Fatalf("final line missing: %q", b.String())
+	}
+}
+
+func TestDur(t *testing.T) {
+	if d := Dur(0.0005); d != 500*time.Microsecond {
+		t.Fatalf("Dur(0.0005) = %v", d)
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"softbarrier/internal/sweep"
+)
+
+// tablesJSON renders a set of representative experiments under the given
+// engine. The chosen runners cover the distinct grid shapes: paired degree
+// sweeps (FIG3), coupled static/dynamic pairs (FIG10), baseline
+// comparisons (EXT1) and distribution grids (EXT4).
+func tablesJSON(t *testing.T, o Options) string {
+	t.Helper()
+	out := ""
+	for _, run := range []Runner{Fig3, Fig10, Ext1, Ext4} {
+		s, err := run(o).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out += s + "\n"
+	}
+	return out
+}
+
+// TestEngineDeterminism is the acceptance criterion of the sweep engine at
+// the experiment layer: the rendered tables are byte-identical for
+// sequential execution, workers=1, workers=4 and workers=GOMAXPROCS.
+func TestEngineDeterminism(t *testing.T) {
+	o := Options{Episodes: 8, Warmup: 3, Seed: 7}
+	want := tablesJSON(t, o)
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		po := o
+		po.Engine = &sweep.Engine{Workers: workers}
+		if got := tablesJSON(t, po); got != want {
+			t.Errorf("workers=%d: tables differ from sequential run", workers)
+		}
+	}
+}
+
+// TestEngineCacheRoundTrip re-runs an experiment against a warm cache and
+// requires every grid point to hit with unchanged output.
+func TestEngineCacheRoundTrip(t *testing.T) {
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Episodes: 8, Warmup: 3, Seed: 7, Engine: &sweep.Engine{Workers: 2, Cache: cache}}
+	cold, err := Fig3(o).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Hits() != 0 || cache.Misses() == 0 {
+		t.Fatalf("cold run: hits=%d misses=%d", cache.Hits(), cache.Misses())
+	}
+	points := cache.Misses()
+	warm, err := Fig3(o).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Error("cached table differs from computed table")
+	}
+	if cache.Hits() != points {
+		t.Errorf("warm run hit %d of %d points", cache.Hits(), points)
+	}
+
+	// Changing the fidelity must change the keys, not resurface stale rows.
+	o.Episodes++
+	if _, err := Fig3(o).JSON(); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses() != 2*points {
+		t.Errorf("episodes bump reused stale cache entries: misses=%d want %d", cache.Misses(), 2*points)
+	}
+}

@@ -18,6 +18,33 @@ var SigmaGrid = []float64{0, 1.6, 6.2, 12.5, 25, 50}
 // ProcGrid is the system-size grid of Figs. 3 and 4.
 var ProcGrid = []int{64, 256, 4096}
 
+// procSigmaGrid flattens ProcGrid × SigmaGrid in row-major order, the
+// point order shared by Figs. 3 and 4.
+func procSigmaGrid() (points []struct {
+	P     int
+	Sigma float64
+}, keys []string) {
+	for _, p := range ProcGrid {
+		for _, s := range SigmaGrid {
+			points = append(points, struct {
+				P     int
+				Sigma float64
+			}{p, s})
+			keys = append(keys, fmt.Sprintf("p=%d sigma=%gtc", p, s))
+		}
+	}
+	return points, keys
+}
+
+// fig2Cell is the simulated half of one FIG2 row.
+type fig2Cell struct {
+	Levels                   int
+	Update, Contention, Sync float64
+}
+
+// fig2Degrees is the degree axis of Figure 2.
+var fig2Degrees = []int{2, 4, 8, 16, 32, 64}
+
 // Fig2 reproduces Figure 2: simulated vs. approximated synchronization
 // delay per combining-tree degree for 4K processors at σ = 0.25 ms
 // (12.5·t_c). The simulated bar splits into update and contention delay;
@@ -31,15 +58,23 @@ func Fig2(o Options) *Table {
 	}
 	const p = 4096
 	sigma := 12.5 * Tc
-	for _, d := range []int{2, 4, 8, 16, 32, 64} {
-		tree := topology.NewClassic(p, d)
-		rr := barriersim.RunIID(tree, barriersim.Config{}, stats.Normal{Sigma: sigma}, o.Episodes, o.Seed)
+	// Every degree reuses the base seed: common random numbers keep the
+	// per-degree comparison paired.
+	cells := grid(o, "fig2", gridKeys("p=4096 sigma=12.5tc d=%d", fig2Degrees),
+		func(i int, _ uint64) fig2Cell {
+			tree := topology.NewClassic(p, fig2Degrees[i])
+			rr := barriersim.RunIID(tree, barriersim.Config{}, stats.Normal{Sigma: sigma}, o.Episodes, o.Seed)
+			return fig2Cell{Levels: tree.Levels, Update: rr.MeanUpdate, Contention: rr.MeanContention, Sync: rr.MeanSync}
+		})
+	estOf := model.EstimateByDegree(p, sigma, Tc)
+	for i, d := range fig2Degrees {
+		c := cells[i]
 		est := "-"
-		if delay, err := model.EstimateDelay(model.Params{P: p, Degree: d, Sigma: sigma}); err == nil {
+		if delay, ok := estOf[d]; ok {
 			est = ms(delay)
 		}
-		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", tree.Levels),
-			ms(rr.MeanUpdate), ms(rr.MeanContention), ms(rr.MeanSync), est)
+		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", c.Levels),
+			ms(c.Update), ms(c.Contention), ms(c.Sync), est)
 	}
 	t.AddNote("paper shape: update delay ∝ depth; contention explodes past a threshold degree; model tracks the simulated totals for full-tree degrees")
 	return t
@@ -55,16 +90,14 @@ type Fig3Cell struct {
 
 // Fig3Data computes the simulated optimal-degree grid.
 func Fig3Data(o Options) []Fig3Cell {
-	var cells []Fig3Cell
-	for _, p := range ProcGrid {
-		for _, s := range SigmaGrid {
-			best, speedup, _ := barriersim.OptimalDegree(
-				p, topology.NewClassic, barriersim.Config{},
-				stats.Normal{Sigma: s * Tc}, o.Episodes, o.Seed+uint64(p)+uint64(s*10))
-			cells = append(cells, Fig3Cell{P: p, SigmaTc: s, OptDegree: best.Degree, Speedup: speedup})
-		}
-	}
-	return cells
+	points, keys := procSigmaGrid()
+	return grid(o, "fig3", keys, func(i int, seed uint64) Fig3Cell {
+		pt := points[i]
+		best, speedup, _ := barriersim.OptimalDegree(
+			pt.P, topology.NewClassic, barriersim.Config{},
+			stats.Normal{Sigma: pt.Sigma * Tc}, o.Episodes, seed)
+		return Fig3Cell{P: pt.P, SigmaTc: pt.Sigma, OptDegree: best.Degree, Speedup: speedup}
+	})
 }
 
 // Fig3 reproduces Figure 3: the simulated optimal combining-tree degree
@@ -93,6 +126,15 @@ func Fig3(o Options) *Table {
 	return t
 }
 
+// fig4Cell is one simulated-vs-estimated cell of the Fig. 4 grid.
+type fig4Cell struct {
+	OptDegree int
+	OptDelay  float64
+	D4        float64
+	EstDegree int
+	EstDelay  float64
+}
+
 // Fig4 reproduces Figure 4: the analytic model's estimated optimal degree
 // against the simulated optimum, with both speedups relative to degree 4,
 // plus the paper's headline accuracy metric (mean estimated/optimal delay
@@ -106,27 +148,36 @@ func Fig4(o Options) *Table {
 	for _, s := range SigmaGrid {
 		t.Header = append(t.Header, fmt.Sprintf("σ=%gtc", s))
 	}
+	points, keys := procSigmaGrid()
+	cells := grid(o, "fig4", keys, func(i int, seed uint64) fig4Cell {
+		pt := points[i]
+		sweep := barriersim.DegreeSweep(
+			pt.P, topology.NewClassic, barriersim.Config{},
+			stats.Normal{Sigma: pt.Sigma * Tc}, o.Episodes, seed)
+		opt := barriersim.Best(sweep)
+		est := model.EstimateOptimalDegree(pt.P, pt.Sigma*Tc, Tc)
+		d4, _ := barriersim.DelayOf(sweep, 4)
+		estDelay, ok := barriersim.DelayOf(sweep, est.Degree)
+		if !ok {
+			// The model can only recommend full-tree degrees, which
+			// for power-of-two p are all in the sweep.
+			estDelay = opt.MeanSync
+		}
+		return fig4Cell{OptDegree: opt.Degree, OptDelay: opt.MeanSync, D4: d4,
+			EstDegree: est.Degree, EstDelay: estDelay}
+	})
 	sumRatio, nRatio := 0.0, 0
+	i := 0
 	for _, p := range ProcGrid {
 		optRow := []string{fmt.Sprintf("%d", p), "opt"}
 		estRow := []string{"", "est"}
-		for _, s := range SigmaGrid {
-			sweep := barriersim.DegreeSweep(
-				p, topology.NewClassic, barriersim.Config{},
-				stats.Normal{Sigma: s * Tc}, o.Episodes, o.Seed+uint64(p)+uint64(s*10))
-			opt := barriersim.Best(sweep)
-			est := model.EstimateOptimalDegree(p, s*Tc, Tc)
-			d4, _ := barriersim.DelayOf(sweep, 4)
-			estDelay, ok := barriersim.DelayOf(sweep, est.Degree)
-			if !ok {
-				// The model can only recommend full-tree degrees, which
-				// for power-of-two p are all in the sweep.
-				estDelay = opt.MeanSync
-			}
-			optRow = append(optRow, fmt.Sprintf("%d (%.2f)", opt.Degree, d4/opt.MeanSync))
-			estRow = append(estRow, fmt.Sprintf("%d (%.2f)", est.Degree, d4/estDelay))
-			if opt.MeanSync > 0 {
-				sumRatio += estDelay / opt.MeanSync
+		for range SigmaGrid {
+			c := cells[i]
+			i++
+			optRow = append(optRow, fmt.Sprintf("%d (%.2f)", c.OptDegree, c.D4/c.OptDelay))
+			estRow = append(estRow, fmt.Sprintf("%d (%.2f)", c.EstDegree, c.D4/c.EstDelay))
+			if c.OptDelay > 0 {
+				sumRatio += c.EstDelay / c.OptDelay
 				nRatio++
 			}
 		}
@@ -136,6 +187,15 @@ func Fig4(o Options) *Table {
 	t.AddNote("mean simulated delay of estimated degree / optimal degree = %.3f (paper: ≈1.07)", sumRatio/float64(nRatio))
 	return t
 }
+
+// eq1Cell is the simulated half of one EQ1 row.
+type eq1Cell struct {
+	Levels int
+	Sync   float64
+}
+
+// eq1Degrees is the degree axis of the EQ1 check.
+var eq1Degrees = []int{2, 4, 8, 16, 64}
 
 // Eq1 verifies §3's closed-form check: under simultaneous arrival the
 // synchronization delay of a full tree is L·d·t_c, minimized near degree
@@ -148,11 +208,16 @@ func Eq1OptimalDegree(o Options) *Table {
 		Header: []string{"degree", "levels", "sim delay", "L·d·t_c"},
 	}
 	const p = 4096
-	for _, d := range []int{2, 4, 8, 16, 64} {
-		tree := topology.NewClassic(p, d)
-		rr := barriersim.RunIID(tree, barriersim.Config{}, stats.Degenerate{}, 1, o.Seed)
-		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", tree.Levels),
-			ms(rr.MeanSync), ms(float64(tree.Levels*d)*Tc))
+	cells := grid(o, "eq1", gridKeys("p=4096 sigma=0 d=%d", eq1Degrees),
+		func(i int, seed uint64) eq1Cell {
+			tree := topology.NewClassic(p, eq1Degrees[i])
+			rr := barriersim.RunIID(tree, barriersim.Config{}, stats.Degenerate{}, 1, seed)
+			return eq1Cell{Levels: tree.Levels, Sync: rr.MeanSync}
+		})
+	for i, d := range eq1Degrees {
+		c := cells[i]
+		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", c.Levels),
+			ms(c.Sync), ms(float64(c.Levels*d)*Tc))
 	}
 	t.AddNote("continuous optimum of d/ln d is d = e ≈ %.3f; degrees 2 and 4 tie at 24·t_c for p=4096", model.OptimalDegreeSimultaneous())
 	return t

@@ -15,6 +15,12 @@ const fig8Sigma = 0.25e-3
 // fig8Slacks are the fuzzy-barrier slacks of Figure 8, in seconds.
 var fig8Slacks = []float64{0, 1e-3, 2e-3, 4e-3, 16e-3}
 
+// fig5Slacks is the slack axis of Figure 5, in seconds.
+var fig5Slacks = []float64{0, 1e-3, 4e-3, 16e-3}
+
+// fig5Lags is the iteration-lag axis of Figure 5.
+var fig5Lags = []int{1, 2, 5, 10, 20}
+
 // Fig5 reproduces the §5 persistence observation (Figure 5): with fuzzy
 // slack, a processor that is slow now remains slow for many iterations.
 // It reports the Spearman rank correlation between the arrival orders of
@@ -26,8 +32,7 @@ func Fig5(o Options) *Table {
 		Title:  "arrival-order rank correlation vs iteration lag (p=4096, σ=0.25ms)",
 		Header: []string{"slack (ms)"},
 	}
-	lags := []int{1, 2, 5, 10, 20}
-	for _, lag := range lags {
+	for _, lag := range fig5Lags {
 		t.Header = append(t.Header, fmt.Sprintf("lag %d", lag))
 	}
 	const p = 4096
@@ -35,22 +40,30 @@ func Fig5(o Options) *Table {
 	if iters < 40 {
 		iters = 40
 	}
-	for _, slack := range []float64{0, 1e-3, 4e-3, 16e-3} {
-		it := workload.NewIterator(workload.IID{N: p, Dist: stats.Normal{Sigma: fig8Sigma}}, slack, o.Seed+uint64(slack*1e6))
-		history := make([][]float64, 0, iters)
-		for k := 0; k < iters; k++ {
-			arr := it.Next()
-			history = append(history, append([]float64(nil), arr...))
-			it.Complete(stats.Max(arr)) // perfect barrier
-		}
-		row := []string{fmt.Sprintf("%g", slack*1e3)}
-		for _, lag := range lags {
-			sum, n := 0.0, 0
-			for k := o.Warmup; k+lag < len(history); k++ {
-				sum += stats.Spearman(history[k], history[k+lag])
-				n++
+	rows := grid(o, "fig5", gridKeys(fmt.Sprintf("p=%d sigma=%g slack=%%g", p, fig8Sigma), fig5Slacks),
+		func(i int, seed uint64) []float64 {
+			it := workload.NewIterator(workload.IID{N: p, Dist: stats.Normal{Sigma: fig8Sigma}}, fig5Slacks[i], seed)
+			history := make([][]float64, 0, iters)
+			for k := 0; k < iters; k++ {
+				arr := it.Next()
+				history = append(history, append([]float64(nil), arr...))
+				it.Complete(stats.Max(arr)) // perfect barrier
 			}
-			row = append(row, fmt.Sprintf("%.2f", sum/float64(n)))
+			corrs := make([]float64, 0, len(fig5Lags))
+			for _, lag := range fig5Lags {
+				sum, n := 0.0, 0
+				for k := o.Warmup; k+lag < len(history); k++ {
+					sum += stats.Spearman(history[k], history[k+lag])
+					n++
+				}
+				corrs = append(corrs, sum/float64(n))
+			}
+			return corrs
+		})
+	for i, slack := range fig5Slacks {
+		row := []string{fmt.Sprintf("%g", slack*1e3)}
+		for _, c := range rows[i] {
+			row = append(row, fmt.Sprintf("%.2f", c))
 		}
 		t.AddRow(row...)
 	}
@@ -69,30 +82,39 @@ type Fig8Row struct {
 }
 
 // Fig8Data measures the dynamic-placement barrier against static placement
-// for 4K processors over the slack grid.
+// for p processors over the slack grid, one sweep point per
+// (degree, slack) pair.
 func Fig8Data(o Options, degrees []int, p int) []Fig8Row {
-	var rows []Fig8Row
 	dist := stats.Normal{Sigma: fig8Sigma}
+	type point struct {
+		Degree int
+		Slack  float64
+	}
+	var points []point
+	var keys []string
 	for _, d := range degrees {
-		tree := topology.NewMCS(p, d)
 		for _, slack := range fig8Slacks {
-			seed := o.Seed + uint64(d*1000) + uint64(slack*1e6)
-			mkIter := func() *workload.Iterator {
-				return workload.NewIterator(workload.IID{N: p, Dist: dist}, slack, seed)
-			}
-			static := barriersim.New(tree, barriersim.Config{}).Run(mkIter(), o.Warmup, o.Episodes)
-			dynamic := barriersim.New(tree, barriersim.Config{Dynamic: true}).Run(mkIter(), o.Warmup, o.Episodes)
-			rows = append(rows, Fig8Row{
-				Degree:       d,
-				Slack:        slack,
-				LastDepth:    dynamic.MeanLastDepth,
-				Speedup:      static.MeanSync / dynamic.MeanSync,
-				CommOverhead: dynamic.CommOverhead,
-				StaticDepth:  static.MeanLastDepth,
-			})
+			points = append(points, point{d, slack})
+			keys = append(keys, fmt.Sprintf("p=%d d=%d sigma=%g slack=%g mcs", p, d, fig8Sigma, slack))
 		}
 	}
-	return rows
+	return grid(o, "fig8", keys, func(i int, seed uint64) Fig8Row {
+		pt := points[i]
+		tree := topology.NewMCS(p, pt.Degree)
+		mkIter := func() *workload.Iterator {
+			return workload.NewIterator(workload.IID{N: p, Dist: dist}, pt.Slack, seed)
+		}
+		static := barriersim.New(tree, barriersim.Config{}).Run(mkIter(), o.Warmup, o.Episodes)
+		dynamic := barriersim.New(tree, barriersim.Config{Dynamic: true}).Run(mkIter(), o.Warmup, o.Episodes)
+		return Fig8Row{
+			Degree:       pt.Degree,
+			Slack:        pt.Slack,
+			LastDepth:    dynamic.MeanLastDepth,
+			Speedup:      static.MeanSync / dynamic.MeanSync,
+			CommOverhead: dynamic.CommOverhead,
+			StaticDepth:  static.MeanLastDepth,
+		}
+	})
 }
 
 // Fig8 reproduces Figure 8: last-processor depth, synchronization speedup

@@ -17,6 +17,16 @@ import (
 // imports from the authors' earlier work [13]; EXT3 demonstrates the
 // run-time degree adaptation the conclusion proposes.
 
+// ext1Cell is one σ row of the EXT1 comparison.
+type ext1Cell struct {
+	D4        float64
+	Opt       float64
+	OptDegree int
+	Diss      float64
+	Tour      float64
+	Cent      float64
+}
+
 // Ext1 compares the optimal-degree combining tree against dissemination,
 // tournament, central-counter and degree-4 barriers across the σ grid for
 // 256 processors. Dissemination and tournament are insensitive to σ (their
@@ -30,22 +40,30 @@ func Ext1(o Options) *Table {
 		Header: []string{"σ/tc", "tree d=4", "tree opt (d*)", "dissemination", "tournament", "central"},
 	}
 	const p = 256
-	for _, s := range SigmaGrid {
-		dist := stats.Normal{Sigma: s * Tc}
-		seed := o.Seed + uint64(s*10)
-		sweep := barriersim.DegreeSweep(p, topology.NewClassic, barriersim.Config{}, dist, o.Episodes, seed)
-		best := barriersim.Best(sweep)
-		d4, _ := barriersim.DelayOf(sweep, 4)
-		diss := barriersim.RunBaselineIID(barriersim.Dissemination, p, Tc, dist, o.Episodes, seed)
-		tour := barriersim.RunBaselineIID(barriersim.Tournament, p, Tc, dist, o.Episodes, seed)
-		cent := barriersim.RunBaselineIID(barriersim.Central, p, Tc, dist, o.Episodes, seed)
-		t.AddRow(fmt.Sprintf("%g", s), ms(d4),
-			fmt.Sprintf("%s (%d)", ms(best.MeanSync), best.Degree),
-			ms(diss.MeanSync), ms(tour.MeanSync), ms(cent.MeanSync))
+	cells := grid(o, "ext1", gridKeys(fmt.Sprintf("p=%d sigma=%%gtc baselines", p), SigmaGrid),
+		func(i int, seed uint64) ext1Cell {
+			dist := stats.Normal{Sigma: SigmaGrid[i] * Tc}
+			sweep := barriersim.DegreeSweep(p, topology.NewClassic, barriersim.Config{}, dist, o.Episodes, seed)
+			best := barriersim.Best(sweep)
+			d4, _ := barriersim.DelayOf(sweep, 4)
+			diss := barriersim.RunBaselineIID(barriersim.Dissemination, p, Tc, dist, o.Episodes, seed)
+			tour := barriersim.RunBaselineIID(barriersim.Tournament, p, Tc, dist, o.Episodes, seed)
+			cent := barriersim.RunBaselineIID(barriersim.Central, p, Tc, dist, o.Episodes, seed)
+			return ext1Cell{D4: d4, Opt: best.MeanSync, OptDegree: best.Degree,
+				Diss: diss.MeanSync, Tour: tour.MeanSync, Cent: cent.MeanSync}
+		})
+	for i, s := range SigmaGrid {
+		c := cells[i]
+		t.AddRow(fmt.Sprintf("%g", s), ms(c.D4),
+			fmt.Sprintf("%s (%d)", ms(c.Opt), c.OptDegree),
+			ms(c.Diss), ms(c.Tour), ms(c.Cent))
 	}
 	t.AddNote("dissemination/tournament delays are flat in σ (structural log₂ p); the tuned combining tree is competitive at σ=0 and strictly better at large σ")
 	return t
 }
+
+// ext2Slacks is the slack axis of the EXT2 validation, in seconds.
+var ext2Slacks = []float64{0.5e-3, 1e-3, 2e-3, 4e-3, 8e-3, 16e-3}
 
 // Ext2 validates the fuzzy-barrier claim the paper builds on ([13]): the
 // expected idle time at a fuzzy barrier falls inversely with the slack.
@@ -58,24 +76,29 @@ func Ext2(o Options) *Table {
 		Header: []string{"slack (ms)", "mean idle (µs)", "idle × slack (µs·ms)"},
 	}
 	const p = 4096
-	for _, slack := range []float64{0.5e-3, 1e-3, 2e-3, 4e-3, 8e-3, 16e-3} {
-		it := workload.NewIterator(workload.IID{N: p, Dist: stats.Normal{Sigma: fig8Sigma}}, slack, o.Seed+uint64(slack*1e6))
-		idleSum, n := 0.0, 0
-		iters := o.Warmup + o.Episodes
-		for k := 0; k < iters; k++ {
-			arr := it.Next()
-			release := stats.Max(arr) // perfect barrier
-			if k >= o.Warmup {
-				for _, e := range arr {
-					if idle := release - slack - e; idle > 0 {
-						idleSum += idle
+	idles := grid(o, "ext2", gridKeys(fmt.Sprintf("p=%d sigma=%g slack=%%g idle", p, fig8Sigma), ext2Slacks),
+		func(i int, seed uint64) float64 {
+			slack := ext2Slacks[i]
+			it := workload.NewIterator(workload.IID{N: p, Dist: stats.Normal{Sigma: fig8Sigma}}, slack, seed)
+			idleSum, n := 0.0, 0
+			iters := o.Warmup + o.Episodes
+			for k := 0; k < iters; k++ {
+				arr := it.Next()
+				release := stats.Max(arr) // perfect barrier
+				if k >= o.Warmup {
+					for _, e := range arr {
+						if idle := release - slack - e; idle > 0 {
+							idleSum += idle
+						}
+						n++
 					}
-					n++
 				}
+				it.Complete(release)
 			}
-			it.Complete(release)
-		}
-		meanIdle := idleSum / float64(n)
+			return idleSum / float64(n)
+		})
+	for i, slack := range ext2Slacks {
+		meanIdle := idles[i]
 		t.AddRow(fmt.Sprintf("%g", slack*1e3), us(meanIdle), fmt.Sprintf("%.2f", meanIdle*1e6*slack*1e3))
 	}
 	t.AddNote("[13]'s claim: idle ∝ 1/slack, so the idle × slack column should be roughly constant once slack exceeds the arrival spread")
@@ -93,6 +116,10 @@ type ext3Phase struct {
 // policy re-estimates σ from observed arrivals (EWMA) every window and
 // rebuilds the tree with the model's degree. Its delay tracks the best
 // fixed degree of each regime instead of being wrong in one of them.
+//
+// EXT3 is deliberately not a sweep: it is a single coupled time series
+// (the adaptive simulator's state spans both phases), so there is no
+// independent grid to fan out.
 func Ext3(o Options) *Table {
 	t := &Table{
 		ID:     "EXT3",

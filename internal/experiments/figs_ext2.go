@@ -9,6 +9,32 @@ import (
 	"softbarrier/internal/topology"
 )
 
+// ext4Sigmas is the σ axis of the EXT4 ablation, in units of t_c.
+var ext4Sigmas = []float64{1.6, 6.2, 12.5, 25}
+
+// ext4DistNames labels the distribution axis (column order of the table).
+var ext4DistNames = []string{"normal", "uniform", "exponential"}
+
+// ext4Dist builds the zero-mean distribution of the named shape at the
+// given σ.
+func ext4Dist(name string, sigma float64) stats.Distribution {
+	switch name {
+	case "normal":
+		return stats.Normal{Sigma: sigma}
+	case "uniform":
+		return stats.Uniform{Lo: -sigma * math.Sqrt(3), Hi: sigma * math.Sqrt(3)}
+	case "exponential":
+		return stats.Exponential{Rate: 1 / sigma, Shift: -sigma}
+	}
+	panic("experiments: unknown distribution " + name)
+}
+
+// optCell is the generic optimal-degree point shared by EXT4 and EXT5.
+type optCell struct {
+	Degree  int
+	Speedup float64
+}
+
 // Ext4 probes the sensitivity of the optimal degree to the *shape* of the
 // arrival distribution at matched standard deviation. The paper assumes
 // normally distributed arrivals (supported by [13] and [15]) but notes in
@@ -24,19 +50,32 @@ func Ext4(o Options) *Table {
 		Header: []string{"σ/tc", "normal", "uniform", "exponential (right tail)"},
 	}
 	const p = 256
-	for _, s := range []float64{1.6, 6.2, 12.5, 25} {
-		sigma := s * Tc
-		dists := []stats.Distribution{
-			stats.Normal{Sigma: sigma},
-			stats.Uniform{Lo: -sigma * math.Sqrt(3), Hi: sigma * math.Sqrt(3)},
-			stats.Exponential{Rate: 1 / sigma, Shift: -sigma},
+	type point struct {
+		Sigma float64
+		Dist  string
+	}
+	var points []point
+	var keys []string
+	for _, s := range ext4Sigmas {
+		for _, name := range ext4DistNames {
+			points = append(points, point{s, name})
+			keys = append(keys, fmt.Sprintf("p=%d sigma=%gtc dist=%s", p, s, name))
 		}
+	}
+	cells := grid(o, "ext4", keys, func(i int, seed uint64) optCell {
+		pt := points[i]
+		best, speedup, _ := barriersim.OptimalDegree(
+			p, topology.NewClassic, barriersim.Config{}, ext4Dist(pt.Dist, pt.Sigma*Tc),
+			o.Episodes, seed)
+		return optCell{Degree: best.Degree, Speedup: speedup}
+	})
+	i := 0
+	for _, s := range ext4Sigmas {
 		row := []string{fmt.Sprintf("%g", s)}
-		for i, dist := range dists {
-			best, speedup, _ := barriersim.OptimalDegree(
-				p, topology.NewClassic, barriersim.Config{}, dist,
-				o.Episodes, o.Seed+uint64(s*10)+uint64(i))
-			row = append(row, fmt.Sprintf("%d (%.2f)", best.Degree, speedup))
+		for range ext4DistNames {
+			c := cells[i]
+			i++
+			row = append(row, fmt.Sprintf("%d (%.2f)", c.Degree, c.Speedup))
 		}
 		t.AddRow(row...)
 	}

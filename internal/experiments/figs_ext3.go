@@ -8,6 +8,12 @@ import (
 	"softbarrier/internal/topology"
 )
 
+// ext5Alphas is the lock-degradation axis of the EXT5 ablation.
+var ext5Alphas = []float64{0, 0.25, 1}
+
+// ext5Sigmas is the σ axis of the EXT5 ablation, in units of t_c.
+var ext5Sigmas = []float64{0, 6.2, 25}
+
 // Ext5 ablates the paper's ideal-lock assumption. The simulations (and
 // Eq. 1) charge a constant t_c per counter update regardless of queue
 // length — an ideal queue lock. Test-and-set locks degrade under
@@ -23,14 +29,33 @@ func Ext5(o Options) *Table {
 		Header: []string{"degradation", "σ=0", "σ=6.2tc", "σ=25tc"},
 	}
 	const p = 256
-	for _, alpha := range []float64{0, 0.25, 1} {
+	type point struct {
+		Alpha float64
+		Sigma float64
+	}
+	var points []point
+	var keys []string
+	for _, alpha := range ext5Alphas {
+		for _, s := range ext5Sigmas {
+			points = append(points, point{alpha, s})
+			keys = append(keys, fmt.Sprintf("p=%d alpha=%g sigma=%gtc", p, alpha, s))
+		}
+	}
+	cells := grid(o, "ext5", keys, func(i int, seed uint64) optCell {
+		pt := points[i]
+		cfg := barriersim.Config{LockDegradation: pt.Alpha}
+		best, speedup, _ := barriersim.OptimalDegree(
+			p, topology.NewClassic, cfg,
+			stats.Normal{Sigma: pt.Sigma * Tc}, o.Episodes, seed)
+		return optCell{Degree: best.Degree, Speedup: speedup}
+	})
+	i := 0
+	for _, alpha := range ext5Alphas {
 		row := []string{fmt.Sprintf("%g", alpha)}
-		for _, s := range []float64{0, 6.2, 25} {
-			cfg := barriersim.Config{LockDegradation: alpha}
-			best, speedup, _ := barriersim.OptimalDegree(
-				p, topology.NewClassic, cfg,
-				stats.Normal{Sigma: s * Tc}, o.Episodes, o.Seed+uint64(s*10))
-			row = append(row, fmt.Sprintf("%d (%.2f)", best.Degree, speedup))
+		for range ext5Sigmas {
+			c := cells[i]
+			i++
+			row = append(row, fmt.Sprintf("%d (%.2f)", c.Degree, c.Speedup))
 		}
 		t.AddRow(row...)
 	}

@@ -7,6 +7,16 @@ import (
 	"softbarrier/internal/sor"
 )
 
+// ext6Degrees is the degree axis of the EXT6 scale-out.
+var ext6Degrees = []int{4, 8, 16, 32}
+
+// ext6Cell is one degree point of the EXT6 grid.
+type ext6Cell struct {
+	Static  float64
+	Dynamic float64
+	LastDep float64
+}
+
 // Ext6 scales the §7 SOR experiment from the 56-processor machine the
 // authors could measure to a full-size KSR1 (34 rings of 32 processors =
 // 1088, the machine's maximum configuration), asking whether the paper's
@@ -28,17 +38,22 @@ func Ext6(o Options) *Table {
 	m.Rings = rings
 	tm := sor.NewTimingModel(m, 60, 210)
 	const slack = 4e-3
+	cells := grid(o, "ext6", gridKeys("ksr34x32 sor dy=210 slack=4ms d=%d", ext6Degrees),
+		func(i int, seed uint64) ext6Cell {
+			d := ext6Degrees[i]
+			static := runKSRWorkload(o, m, m.Tree(d), tm, slack, false, seed)
+			dynamic := runKSRWorkload(o, m, m.Tree(d), tm, slack, true, seed)
+			return ext6Cell{Static: static.MeanSync, Dynamic: dynamic.MeanSync,
+				LastDep: dynamic.MeanLastDepth}
+		})
 	bestStatic, bestDegree := -1.0, 0
-	for _, d := range []int{4, 8, 16, 32} {
-		tree := m.Tree(d)
-		seed := o.Seed + uint64(d)
-		static := runKSRWorkload(o, m, tree, tm, slack, false, seed)
-		dynamic := runKSRWorkload(o, m, tree, tm, slack, true, seed)
-		t.AddRow(fmt.Sprintf("%d", d), ms(static.MeanSync), ms(dynamic.MeanSync),
-			fmt.Sprintf("%.2f", static.MeanSync/dynamic.MeanSync),
-			fmt.Sprintf("%.2f", dynamic.MeanLastDepth))
-		if bestStatic < 0 || static.MeanSync < bestStatic {
-			bestStatic, bestDegree = static.MeanSync, d
+	for i, d := range ext6Degrees {
+		c := cells[i]
+		t.AddRow(fmt.Sprintf("%d", d), ms(c.Static), ms(c.Dynamic),
+			fmt.Sprintf("%.2f", c.Static/c.Dynamic),
+			fmt.Sprintf("%.2f", c.LastDep))
+		if bestStatic < 0 || c.Static < bestStatic {
+			bestStatic, bestDegree = c.Static, d
 		}
 	}
 	t.AddNote("static optimum at degree %d; dynamic placement keeps the last-processor depth near the ring floor, so the 19× larger machine pays barely more than the 56-processor one", bestDegree)

@@ -29,6 +29,13 @@ func runKSRWorkload(o Options, m ksr.Machine, tree *topology.Tree, tm *sor.Timin
 	return barriersim.New(tree, cfg).Run(it, o.Warmup, o.Episodes)
 }
 
+// fig12Cell is one d_y point of the Fig. 12 grid.
+type fig12Cell struct {
+	Sigma     float64
+	OptDegree int
+	Speedup   float64
+}
+
 // Fig12 reproduces Figure 12: the measured optimal combining-tree degree
 // of the SOR program on the (modelled) 56-processor KSR1, per data size
 // d_y, with the measured execution-time standard deviation and the speedup
@@ -40,19 +47,26 @@ func Fig12(o Options) *Table {
 		Header: []string{"dy", "σ (µs)", "σ/tc", "opt degree", "speedup vs d=4"},
 	}
 	m := ksr.New56()
-	for _, dy := range fig12DYs {
-		tm := sor.NewTimingModel(m, 60, dy)
-		sigma := tm.MeasuredSigma(200, o.Seed)
-		seed := o.Seed + uint64(dy)
-		var results []barriersim.DegreeResult
-		for _, d := range ksrDegrees {
-			rr := runKSRWorkload(o, m, m.Tree(d), tm, 0, false, seed)
-			results = append(results, barriersim.DegreeResult{Degree: d, MeanSync: rr.MeanSync})
-		}
-		best := barriersim.Best(results)
-		d4, _ := barriersim.DelayOf(results, 4)
-		t.AddRow(fmt.Sprintf("%d", dy), us(sigma), fmt.Sprintf("%.1f", sigma/m.Tc),
-			fmt.Sprintf("%d", best.Degree), fmt.Sprintf("%.2f", d4/best.MeanSync))
+	cells := grid(o, "fig12", gridKeys("ksr56 sor dx=60 dy=%d", fig12DYs),
+		func(i int, seed uint64) fig12Cell {
+			dy := fig12DYs[i]
+			tm := sor.NewTimingModel(m, 60, dy)
+			sigma := tm.MeasuredSigma(200, o.Seed)
+			// The degrees share one seed: paired comparisons, as in the
+			// root degree sweep.
+			var results []barriersim.DegreeResult
+			for _, d := range ksrDegrees {
+				rr := runKSRWorkload(o, m, m.Tree(d), tm, 0, false, seed)
+				results = append(results, barriersim.DegreeResult{Degree: d, MeanSync: rr.MeanSync})
+			}
+			best := barriersim.Best(results)
+			d4, _ := barriersim.DelayOf(results, 4)
+			return fig12Cell{Sigma: sigma, OptDegree: best.Degree, Speedup: d4 / best.MeanSync}
+		})
+	for i, dy := range fig12DYs {
+		c := cells[i]
+		t.AddRow(fmt.Sprintf("%d", dy), us(c.Sigma), fmt.Sprintf("%.1f", c.Sigma/m.Tc),
+			fmt.Sprintf("%d", c.OptDegree), fmt.Sprintf("%.2f", c.Speedup))
 	}
 	t.AddNote("paper shape: σ grows with dy; the optimal degree rises from 4 to 32 and the speedup from 1.00 to ≈1.23")
 	return t
@@ -67,26 +81,35 @@ type Fig13Row struct {
 }
 
 // Fig13Data measures dynamic vs static placement for the SOR workload
-// (d_y = 210) on ring-constrained trees across slacks.
+// (d_y = 210) on ring-constrained trees, one sweep point per
+// (degree, slack) pair.
 func Fig13Data(o Options, degrees []int) []Fig13Row {
 	m := ksr.New56()
 	tm := sor.NewTimingModel(m, 60, 210)
-	var rows []Fig13Row
+	type point struct {
+		Degree int
+		Slack  float64
+	}
+	var points []point
+	var keys []string
 	for _, d := range degrees {
-		tree := m.Tree(d)
 		for _, slack := range fig13Slacks {
-			seed := o.Seed + uint64(d*101) + uint64(slack*1e7)
-			static := runKSRWorkload(o, m, tree, tm, slack, false, seed)
-			dynamic := runKSRWorkload(o, m, tree, tm, slack, true, seed)
-			rows = append(rows, Fig13Row{
-				Degree:    d,
-				Slack:     slack,
-				LastDepth: dynamic.MeanLastDepth,
-				Speedup:   static.MeanSync / dynamic.MeanSync,
-			})
+			points = append(points, point{d, slack})
+			keys = append(keys, fmt.Sprintf("ksr56 sor dy=210 d=%d slack=%g", d, slack))
 		}
 	}
-	return rows
+	return grid(o, "fig13", keys, func(i int, seed uint64) Fig13Row {
+		pt := points[i]
+		tree := m.Tree(pt.Degree)
+		static := runKSRWorkload(o, m, tree, tm, pt.Slack, false, seed)
+		dynamic := runKSRWorkload(o, m, tree, tm, pt.Slack, true, seed)
+		return Fig13Row{
+			Degree:    pt.Degree,
+			Slack:     pt.Slack,
+			LastDepth: dynamic.MeanLastDepth,
+			Speedup:   static.MeanSync / dynamic.MeanSync,
+		}
+	})
 }
 
 // Fig13 reproduces Figure 13: dynamic placement of the SOR program on the

@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+
+	"softbarrier/internal/sweep"
 )
 
 // Options tunes the experiment harness.
@@ -25,6 +27,10 @@ type Options struct {
 	// Seed is the base PRNG seed; every configuration derives from it
 	// deterministically.
 	Seed uint64
+	// Engine executes each experiment's parameter grid; nil runs the grid
+	// points sequentially. Tables are bit-identical for every engine
+	// configuration (see internal/sweep).
+	Engine *sweep.Engine
 }
 
 // DefaultOptions is the fidelity used for the recorded EXPERIMENTS.md

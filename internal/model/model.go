@@ -215,6 +215,19 @@ func EstimateSweep(p int, sigma, tc float64) []DegreeEstimate {
 	return out
 }
 
+// EstimateByDegree returns the model's estimated delay keyed by degree:
+// the join used wherever model estimates are attached to simulated degree
+// rows (cmd/degreeopt's table, the FIG2 experiment). Degrees that are not
+// full-tree degrees of p have no estimate and are simply absent.
+func EstimateByDegree(p int, sigma, tc float64) map[int]float64 {
+	sweep := EstimateSweep(p, sigma, tc)
+	byDegree := make(map[int]float64, len(sweep))
+	for _, e := range sweep {
+		byDegree[e.Degree] = e.Delay
+	}
+	return byDegree
+}
+
 // EstimateOptimalDegree returns the analytic model's delay-minimizing
 // degree for p processors at the given imbalance, with ties going to the
 // larger degree (wider trees need fewer counters). This is the quantity a

@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Version is the code-version salt mixed into every cache key. Bump it
+// whenever the simulator's semantics change in a way that invalidates
+// previously cached results (new event ordering, changed defaults, …);
+// stale entries then simply stop being addressed and can be garbage
+// collected by deleting the cache directory.
+const Version = "sweep-v1"
+
+// Cache is an on-disk, content-addressed result store. Each entry is one
+// JSON file named by the SHA-256 of (Version, spec name, point key,
+// derived seed), sharded into 256 two-hex-digit subdirectories. Entries
+// carry their spec and point key in cleartext for debuggability.
+//
+// The cache is safe for concurrent use by multiple workers and multiple
+// processes: writes go to a temp file followed by an atomic rename, and
+// any read failure (missing, truncated, foreign schema) is a miss.
+type Cache struct {
+	dir          string
+	hits, misses atomic.Int64
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Hits returns the number of successful lookups since OpenCache.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of failed lookups since OpenCache.
+func (c *Cache) Misses() int64 { return c.misses.Load() }
+
+// Key computes the content address of a point: a hex SHA-256 over the
+// code-version salt, the spec name, the point's full-configuration key and
+// its derived seed.
+func (c *Cache) Key(spec, point string, seed uint64) string {
+	h := sha256.New()
+	var sep = []byte{0}
+	h.Write([]byte(Version))
+	h.Write(sep)
+	h.Write([]byte(spec))
+	h.Write(sep)
+	h.Write([]byte(point))
+	h.Write(sep)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entry is the JSON schema of one cache file.
+type entry struct {
+	Spec   string          `json:"spec"`
+	Point  string          `json:"point"`
+	Result json.RawMessage `json:"result"`
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key[2:]+".json")
+}
+
+// Get looks key up and, on a hit, decodes the stored result into out
+// (which must be a pointer). Any failure is reported as a miss.
+func (c *Cache) Get(key string, out any) bool {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	var e entry
+	if json.Unmarshal(data, &e) != nil || json.Unmarshal(e.Result, out) != nil {
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// Put stores a point's result under key. Storage is best-effort: an
+// unwritable cache degrades to recomputation, never to an error.
+func (c *Cache) Put(key, spec, point string, v any) {
+	res, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	data, err := json.Marshal(entry{Spec: spec, Point: point, Result: res})
+	if err != nil {
+		return
+	}
+	dir := filepath.Dir(c.path(key))
+	if os.MkdirAll(dir, 0o755) != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), c.path(key)) != nil {
+		os.Remove(tmp.Name())
+	}
+}

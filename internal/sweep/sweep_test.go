@@ -1,0 +1,207 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"softbarrier/internal/stats"
+)
+
+// pointResult exercises JSON round-tripping through the cache.
+type pointResult struct {
+	Index int
+	Mean  float64
+	Draws []float64
+}
+
+// simulate is a miniature stochastic "simulation": a few PRNG draws whose
+// values depend only on the seed, plus deliberate scheduling churn so
+// parallel runs interleave differently every time.
+func simulate(i int, seed uint64) pointResult {
+	r := stats.NewRNG(seed)
+	res := pointResult{Index: i}
+	for k := 0; k < 8; k++ {
+		v := r.Float64()
+		res.Draws = append(res.Draws, v)
+		res.Mean += v / 8
+		runtime.Gosched()
+	}
+	return res
+}
+
+func testSpec(n int) Spec {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("point=%d episodes=8", i)
+	}
+	return Spec{Name: "sweep-test", Keys: keys, BaseSeed: 42}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestPointSeed(t *testing.T) {
+	seen := map[uint64]bool{}
+	for _, base := range []uint64{0, 1, 1995} {
+		for i := 0; i < 100; i++ {
+			s := PointSeed(base, i)
+			if seen[s] {
+				t.Fatalf("PointSeed(%d, %d) = %#x collides", base, i, s)
+			}
+			seen[s] = true
+			if s != PointSeed(base, i) {
+				t.Fatalf("PointSeed(%d, %d) not stable", base, i)
+			}
+		}
+	}
+}
+
+// TestDeterminismAcrossWorkers is the ISSUE's hard requirement: identical
+// byte-level results for workers = 1, 4 and GOMAXPROCS.
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	spec := testSpec(37)
+	want := mustJSON(t, Run[pointResult](nil, spec, simulate))
+	cases := []struct {
+		name    string
+		workers int
+	}{
+		{"sequential-engine", 1},
+		{"workers-4", 4},
+		{"gomaxprocs", runtime.GOMAXPROCS(0)},
+		{"oversubscribed", 2 * len(spec.Keys)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for rep := 0; rep < 3; rep++ {
+				got := mustJSON(t, Run(&Engine{Workers: tc.workers}, spec, simulate))
+				if got != want {
+					t.Fatalf("workers=%d rep=%d: results differ from sequential run\n got %s\nwant %s",
+						tc.workers, rep, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestNilEngineAndEmptySpec(t *testing.T) {
+	if got := Run[int](nil, Spec{}, func(i int, _ uint64) int { return i }); len(got) != 0 {
+		t.Fatalf("empty spec returned %v", got)
+	}
+	got := Run[int](nil, Spec{Name: "n", Keys: []string{"a", "b", "c"}}, func(i int, _ uint64) int { return i * i })
+	if got[0] != 0 || got[1] != 1 || got[2] != 4 {
+		t.Fatalf("nil engine results %v", got)
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(12)
+
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mustJSON(t, Run(&Engine{Workers: 4, Cache: c1}, spec, simulate))
+	if c1.Hits() != 0 || c1.Misses() != int64(len(spec.Keys)) {
+		t.Fatalf("cold run: hits=%d misses=%d", c1.Hits(), c1.Misses())
+	}
+
+	// A fresh cache handle over the same directory must serve every point.
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	second := mustJSON(t, Run(&Engine{Workers: 2, Cache: c2}, spec, func(i int, seed uint64) pointResult {
+		calls++
+		return simulate(i, seed)
+	}))
+	if calls != 0 {
+		t.Fatalf("warm run recomputed %d points", calls)
+	}
+	if c2.Hits() != int64(len(spec.Keys)) {
+		t.Fatalf("warm run: hits=%d", c2.Hits())
+	}
+	if second != first {
+		t.Fatalf("cached results differ:\n got %s\nwant %s", second, first)
+	}
+
+	// A different base seed must not hit the old entries.
+	reseeded := spec
+	reseeded.BaseSeed = spec.BaseSeed + 1
+	third := mustJSON(t, Run(&Engine{Cache: c2, Workers: 1}, reseeded, simulate))
+	if third == first {
+		t.Fatal("different base seed returned identical results")
+	}
+}
+
+func TestCacheIgnoresCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(3)
+	want := mustJSON(t, Run(&Engine{Workers: 1, Cache: c}, spec, simulate))
+
+	// Truncate every entry; the next run must recompute, not fail.
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		return os.WriteFile(path, []byte("{not json"), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := OpenCache(dir)
+	got := mustJSON(t, Run(&Engine{Workers: 1, Cache: c2}, spec, simulate))
+	if got != want {
+		t.Fatalf("recompute after corruption differs:\n got %s\nwant %s", got, want)
+	}
+	if c2.Hits() != 0 {
+		t.Fatalf("corrupt entries counted as hits: %d", c2.Hits())
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	spec := testSpec(9)
+	var snaps []Progress
+	Run(&Engine{Workers: 3, Report: func(p Progress) { snaps = append(snaps, p) }}, spec, simulate)
+	if len(snaps) != len(spec.Keys) {
+		t.Fatalf("%d progress reports for %d points", len(snaps), len(spec.Keys))
+	}
+	last := snaps[len(snaps)-1]
+	if last.Done != len(spec.Keys) || last.Total != len(spec.Keys) {
+		t.Fatalf("final progress %+v", last)
+	}
+	for k := 1; k < len(snaps); k++ {
+		if snaps[k].Done != snaps[k-1].Done+1 {
+			t.Fatalf("progress not monotone: %+v -> %+v", snaps[k-1], snaps[k])
+		}
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+	}()
+	Run(&Engine{Workers: 4}, testSpec(16), func(i int, seed uint64) pointResult {
+		if i == 7 {
+			panic("boom")
+		}
+		return simulate(i, seed)
+	})
+}
