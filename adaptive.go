@@ -1,6 +1,7 @@
 package softbarrier
 
 import (
+	"context"
 	"sync/atomic"
 
 	rt "softbarrier/internal/runtime"
@@ -35,6 +36,7 @@ type AdaptiveBarrier struct {
 	rec         *rt.Recorder      // always active: the control loop needs the spreads
 	est         rt.SigmaEstimator // EWMA of per-episode arrival spread, seconds
 	adaptations atomic.Uint64
+	poisonCore
 }
 
 // adaptiveState is the rebuildable part: a topology plus its counters.
@@ -72,6 +74,18 @@ func NewAdaptive(p, interval int, tc float64, opts ...Option) *AdaptiveBarrier {
 	b.rec = o.recorder(p, true)
 	b.est.Init(rt.DefaultSigmaWeight)
 	b.state.Store(newAdaptiveState(p, 4))
+	b.initPoison(p, o.watchdog,
+		func() { b.gate.Poison() },
+		func() {
+			st := b.state.Load()
+			for i := range st.counters {
+				c := &st.counters[i]
+				c.mu.Lock()
+				c.count = 0
+				c.mu.Unlock()
+			}
+			b.gate.Unpoison()
+		})
 	return b
 }
 
@@ -109,9 +123,14 @@ func (b *AdaptiveBarrier) Wait(id int) {
 }
 
 // Arrive records the arrival time and performs the counter ascent,
-// adapting and releasing the episode if id completes the root.
+// adapting and releasing the episode if id completes the root. On a
+// poisoned barrier it is a no-op.
 func (b *AdaptiveBarrier) Arrive(id int) {
 	checkID(id, b.p)
+	if b.poisoned() {
+		return
+	}
+	b.noteArrive(id)
 	gen := b.gate.Seq()
 	b.rec.Arrive(id, gen)
 	b.myGen[id].V = gen
@@ -152,10 +171,25 @@ func (b *AdaptiveBarrier) releaseAndMaybeAdapt(st *adaptiveState) {
 	b.gate.Open()
 }
 
-// Await blocks participant id until the episode it arrived in completes.
+// Await blocks participant id until the episode it arrived in completes
+// or the barrier is poisoned.
 func (b *AdaptiveBarrier) Await(id int) {
 	checkID(id, b.p)
 	b.gate.Await(b.myGen[id].V)
 }
 
+// WaitCtx is Wait with cancellation: if ctx ends while the wait is in
+// flight the barrier is poisoned, and the poison error is returned.
+func (b *AdaptiveBarrier) WaitCtx(ctx context.Context, id int) error {
+	checkID(id, b.p)
+	return b.waitCtx(ctx, func() { b.Wait(id) })
+}
+
+// AwaitCtx is Await with cancellation, with WaitCtx's poison semantics.
+func (b *AdaptiveBarrier) AwaitCtx(ctx context.Context, id int) error {
+	checkID(id, b.p)
+	return b.waitCtx(ctx, func() { b.Await(id) })
+}
+
 var _ PhasedBarrier = (*AdaptiveBarrier)(nil)
+var _ ContextBarrier = (*AdaptiveBarrier)(nil)

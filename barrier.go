@@ -1,5 +1,7 @@
 package softbarrier
 
+import "context"
+
 // Barrier synchronizes a fixed set of participants, numbered 0..P−1. Wait
 // blocks participant id until every participant has called Wait for the
 // current episode, then all calls return and the barrier is ready for the
@@ -29,6 +31,32 @@ type PhasedBarrier interface {
 	// Await blocks participant id until the episode it arrived in
 	// completes.
 	Await(id int)
+}
+
+// Abortable is the failure surface every barrier in this package
+// implements. A barrier assumes every participant always arrives; when
+// one cannot — it stalled, panicked, was cancelled — Poison is the escape
+// hatch that turns a certain deadlock into an error every participant
+// observes.
+type Abortable interface {
+	// Poison fails the barrier: every parked or spinning waiter wakes and
+	// all future waits return immediately. The first error wins; nil
+	// selects ErrPoisoned.
+	Poison(err error)
+	// Err returns the poison error, or nil while the barrier is healthy.
+	Err() error
+}
+
+// ContextBarrier is a barrier whose waits can be abandoned through a
+// context. WaitCtx is Wait except that cancellation or expiry of ctx
+// poisons the barrier (the cancelled participant will never complete the
+// episode, so every other participant must be released too) and the
+// poison error — this ctx's or whichever came first — is returned.
+// Every barrier in this package implements it.
+type ContextBarrier interface {
+	Barrier
+	Abortable
+	WaitCtx(ctx context.Context, id int) error
 }
 
 // checkID panics when a participant id is out of range, which would

@@ -1,6 +1,7 @@
 package softbarrier
 
 import (
+	"context"
 	"sync/atomic"
 
 	rt "softbarrier/internal/runtime"
@@ -22,6 +23,7 @@ type CentralBarrier struct {
 	gate  rt.Gate
 	local []rt.PaddedUint64 // per-participant sense snapshot, padded against false sharing
 	rec   *rt.Recorder
+	poisonCore
 }
 
 // NewCentral returns a sense-reversing barrier for p participants.
@@ -33,6 +35,12 @@ func NewCentral(p int, opts ...Option) *CentralBarrier {
 	b := &CentralBarrier{p: p, local: make([]rt.PaddedUint64, p)}
 	b.gate.Init(o.policy)
 	b.rec = o.recorder(p, false)
+	b.initPoison(p, o.watchdog,
+		func() { b.gate.Poison() },
+		func() {
+			b.count.Store(0) // drop the aborted episode's partial arrivals
+			b.gate.Unpoison()
+		})
 	return b
 }
 
@@ -46,9 +54,13 @@ func (b *CentralBarrier) Wait(id int) {
 }
 
 // Arrive increments the central counter; the last arriver flips the sense,
-// releasing the episode.
+// releasing the episode. On a poisoned barrier it is a no-op.
 func (b *CentralBarrier) Arrive(id int) {
 	checkID(id, b.p)
+	if b.poisoned() {
+		return
+	}
+	b.noteArrive(id)
 	sense := b.gate.Seq() // also the 0-based episode index
 	b.rec.Arrive(id, sense)
 	b.local[id].V = sense
@@ -61,10 +73,25 @@ func (b *CentralBarrier) Arrive(id int) {
 	}
 }
 
-// Await blocks (spin → yield → park) until the sense flips.
+// Await blocks (spin → yield → park) until the sense flips or the barrier
+// is poisoned.
 func (b *CentralBarrier) Await(id int) {
 	checkID(id, b.p)
 	b.gate.Await(b.local[id].V)
 }
 
+// WaitCtx is Wait with cancellation: if ctx ends while the wait is in
+// flight the barrier is poisoned, and the poison error is returned.
+func (b *CentralBarrier) WaitCtx(ctx context.Context, id int) error {
+	checkID(id, b.p)
+	return b.waitCtx(ctx, func() { b.Wait(id) })
+}
+
+// AwaitCtx is Await with cancellation, with WaitCtx's poison semantics.
+func (b *CentralBarrier) AwaitCtx(ctx context.Context, id int) error {
+	checkID(id, b.p)
+	return b.waitCtx(ctx, func() { b.Await(id) })
+}
+
 var _ PhasedBarrier = (*CentralBarrier)(nil)
+var _ ContextBarrier = (*CentralBarrier)(nil)

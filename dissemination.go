@@ -1,6 +1,8 @@
 package softbarrier
 
 import (
+	"context"
+
 	rt "softbarrier/internal/runtime"
 )
 
@@ -30,6 +32,7 @@ type DisseminationBarrier struct {
 	// state is each participant's episode counter.
 	state []dissState
 	rec   *rt.Recorder
+	poisonCore
 }
 
 type dissState struct {
@@ -55,6 +58,29 @@ func NewDissemination(p int, opts ...Option) *DisseminationBarrier {
 	}
 	b.state = make([]dissState, p)
 	b.rec = o.recorder(p, false)
+	b.initPoison(p, o.watchdog,
+		func() {
+			// No central gate: waking everyone means poisoning every round
+			// flag — each participant is parked on (at most) one of its own.
+			for i := range b.flags {
+				for j := range b.flags[i] {
+					b.flags[i][j].Poison()
+				}
+			}
+		},
+		func() {
+			for i := range b.flags {
+				for j := range b.flags[i] {
+					b.flags[i][j].Reset()
+				}
+			}
+			// The aborted episode left the per-participant counters
+			// divergent; restart everyone from episode zero to match the
+			// zeroed flags.
+			for i := range b.state {
+				b.state[i].episode = 0
+			}
+		})
 	return b
 }
 
@@ -64,9 +90,15 @@ func (b *DisseminationBarrier) Participants() int { return b.p }
 // Rounds returns ⌈log₂ p⌉, the number of signalling rounds per episode.
 func (b *DisseminationBarrier) Rounds() int { return b.rounds }
 
-// Wait blocks until all participants arrive.
+// Wait blocks until all participants arrive. On a poisoned barrier it
+// returns immediately; a participant woken mid-round by poison abandons
+// the episode (its counter does not advance).
 func (b *DisseminationBarrier) Wait(id int) {
 	checkID(id, b.p)
+	if b.poisoned() {
+		return
+	}
+	b.noteArrive(id)
 	st := &b.state[id]
 	ep := st.episode
 	b.rec.Arrive(id, ep)
@@ -78,7 +110,9 @@ func (b *DisseminationBarrier) Wait(id int) {
 	for r := 0; r < b.rounds; r++ {
 		partner := (id + (1 << r)) % b.p
 		b.flags[partner][2*r+parity].Set(want)
-		b.flags[id][2*r+parity].AwaitAtLeast(want, b.policy)
+		if b.flags[id][2*r+parity].AwaitAtLeast(want, b.policy) == rt.PoisonValue {
+			return
+		}
 	}
 	if id == 0 {
 		// Participant 0 is the designated telemetry reporter: its exit
@@ -90,4 +124,12 @@ func (b *DisseminationBarrier) Wait(id int) {
 	st.episode++
 }
 
+// WaitCtx is Wait with cancellation: if ctx ends while the wait is in
+// flight the barrier is poisoned, and the poison error is returned.
+func (b *DisseminationBarrier) WaitCtx(ctx context.Context, id int) error {
+	checkID(id, b.p)
+	return b.waitCtx(ctx, func() { b.Wait(id) })
+}
+
 var _ Barrier = (*DisseminationBarrier)(nil)
+var _ ContextBarrier = (*DisseminationBarrier)(nil)

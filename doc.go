@@ -40,6 +40,18 @@
 // nothing. The Aggregate observer folds episodes into a measured σ that
 // RecommendMeasured feeds back into the planner.
 //
+// # Failure semantics
+//
+// Every barrier is Abortable: Poison(err) wakes all current and future
+// waiters immediately and Err reports the cause. WaitCtx/AwaitCtx
+// (ContextBarrier) tie a wait to a context — cancellation poisons the
+// episode, since the cancelled participant will never arrive. The
+// WithWatchdog option poisons a stalled episode with a StallError naming
+// the un-arrived participants, and Group poisons the barrier when a
+// worker panics or errors so the pool drains instead of deadlocking
+// (healing the barrier afterwards, so the Group stays reusable). Reset,
+// at a quiescent point, returns a poisoned barrier to service.
+//
 // # Choosing a degree
 //
 // OptimalDegree applies the paper's analytic model (§3–4): give it the

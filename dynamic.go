@@ -1,6 +1,7 @@
 package softbarrier
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -40,6 +41,7 @@ type DynamicBarrier struct {
 
 	swaps atomic.Uint64
 	rec   *rt.Recorder
+	poisonCore
 }
 
 // dynCounter is a tree node's counter plus the dynamic-placement fields.
@@ -107,6 +109,21 @@ func NewDynamicFromTree(tree *topology.Tree, opts ...Option) *DynamicBarrier {
 	}
 	b.gate.Init(o.policy)
 	b.rec = o.recorder(tree.P, false)
+	b.initPoison(tree.P, o.watchdog,
+		func() { b.gate.Poison() },
+		func() {
+			// Drop the aborted episode's partial counts. The placement
+			// state (local slots, pending evictions) survives: it is a
+			// consistent placement at every ascent boundary, and pending
+			// victims adopt their destination on their next arrival.
+			for i := range b.counters {
+				c := &b.counters[i]
+				c.mu.Lock()
+				c.count = 0
+				c.mu.Unlock()
+			}
+			b.gate.Unpoison()
+		})
 	return b
 }
 
@@ -150,9 +167,14 @@ func (b *DynamicBarrier) Wait(id int) {
 	b.Await(id)
 }
 
-// Arrive performs the dynamic-placement ascent for participant id.
+// Arrive performs the dynamic-placement ascent for participant id. On a
+// poisoned barrier it is a no-op.
 func (b *DynamicBarrier) Arrive(id int) {
 	checkID(id, b.p)
+	if b.poisoned() {
+		return
+	}
+	b.noteArrive(id)
 	gen := b.gate.Seq()
 	b.rec.Arrive(id, gen)
 	b.myGen[id].V = gen
@@ -222,10 +244,25 @@ func (b *DynamicBarrier) ascend(id, c int) {
 	b.gate.Open()
 }
 
-// Await blocks participant id until the episode it arrived in completes.
+// Await blocks participant id until the episode it arrived in completes
+// or the barrier is poisoned.
 func (b *DynamicBarrier) Await(id int) {
 	checkID(id, b.p)
 	b.gate.Await(b.myGen[id].V)
 }
 
+// WaitCtx is Wait with cancellation: if ctx ends while the wait is in
+// flight the barrier is poisoned, and the poison error is returned.
+func (b *DynamicBarrier) WaitCtx(ctx context.Context, id int) error {
+	checkID(id, b.p)
+	return b.waitCtx(ctx, func() { b.Wait(id) })
+}
+
+// AwaitCtx is Await with cancellation, with WaitCtx's poison semantics.
+func (b *DynamicBarrier) AwaitCtx(ctx context.Context, id int) error {
+	checkID(id, b.p)
+	return b.waitCtx(ctx, func() { b.Await(id) })
+}
+
 var _ PhasedBarrier = (*DynamicBarrier)(nil)
+var _ ContextBarrier = (*DynamicBarrier)(nil)

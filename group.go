@@ -1,6 +1,7 @@
 package softbarrier
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,9 +13,14 @@ import (
 // BSP-loop boilerplate every barrier user otherwise rewrites.
 //
 // A panicking step function does not strand the other workers: the panic
-// is recovered, every worker stops at the same step boundary, and the
-// panic is re-raised to the caller once the pool has drained (the earliest
-// failing step's lowest-numbered worker wins, mirroring RunErr).
+// is recovered, the group's barrier is poisoned so every parked sibling
+// wakes immediately, all workers stop at the panicking step's boundary,
+// and the panic is re-raised to the caller once the pool has drained (the
+// earliest failing step's lowest-numbered worker wins, mirroring RunErr).
+// Failures the group injected itself are healed after the drain — the
+// barrier is Reset, so the group stays reusable. A poison arriving from
+// outside (a watchdog, a direct Poison call) is not cleared: Run and
+// RunFuzzy re-raise it as a panic, RunErr returns it.
 type Group struct {
 	b Barrier
 
@@ -63,20 +69,26 @@ func (g *Group) note(start time.Time, steps int) {
 
 // panicTracker coordinates panic recovery across a worker pool: the first
 // panic of the earliest step wins, and every worker stops at that step's
-// barrier boundary so nobody is stranded mid-episode.
+// barrier boundary so nobody is stranded mid-episode. When the group's
+// barrier is Abortable the tracker also poisons it on the first recorded
+// panic, so siblings already parked in the barrier wake at once instead
+// of relying on every worker reaching the next stop check.
 type panicTracker struct {
-	step atomic.Int64 // earliest panicking step; steps beyond it are skipped
-	vals []any        // per-worker recovered value (first one per worker)
-	at   []int        // per-worker panicking step
+	step  atomic.Int64 // earliest panicking step; steps beyond it are skipped
+	total int          // the run's declared step count
+	vals  []any        // per-worker recovered value (first one per worker)
+	at    []int        // per-worker panicking step
+	ab    Abortable    // the group's barrier, or nil if it is not abortable
 }
 
-func newPanicTracker(p, steps int) *panicTracker {
-	t := &panicTracker{vals: make([]any, p), at: make([]int, p)}
+func newPanicTracker(p, steps int, ab Abortable) *panicTracker {
+	t := &panicTracker{total: steps, vals: make([]any, p), at: make([]int, p), ab: ab}
 	t.step.Store(int64(steps))
 	return t
 }
 
-// call runs f, recording a recovered panic against (id, step).
+// call runs f, recording a recovered panic against (id, step) and
+// poisoning the group's barrier.
 func (t *panicTracker) call(id, step int, f func()) {
 	defer func() {
 		r := recover()
@@ -91,8 +103,24 @@ func (t *panicTracker) call(id, step int, f func()) {
 				break
 			}
 		}
+		if t.ab != nil {
+			t.ab.Poison(fmt.Errorf("softbarrier: worker %d panicked in superstep %d: %v", id, step, r))
+		}
 	}()
 	f()
+}
+
+// failed reports whether the tracker recorded any panic.
+func (t *panicTracker) failed() bool { return t.step.Load() < int64(t.total) }
+
+// abortedExternally reports a poison that did not come from this run's
+// own panic recovery: supersteps are no longer synchronized and the pool
+// must stop where it stands. Self-inflicted poison is excluded — those
+// workers still drain deterministically to the recorded step boundary.
+// (Poison is published after the boundary CAS, so observing the error
+// implies observing the boundary.)
+func (t *panicTracker) abortedExternally() bool {
+	return t.ab != nil && !t.failed() && t.ab.Err() != nil
 }
 
 // stopped reports whether step is beyond the panic boundary. Every worker
@@ -123,21 +151,48 @@ func (t *panicTracker) executed(steps int) int {
 	return steps
 }
 
+// heal inspects the barrier after the pool has drained. Failures the
+// group injected itself (selfInflicted: a recorded panic or worker error)
+// have served their purpose once every worker returned, so the barrier is
+// Reset — the pool being drained is exactly the quiescent point Reset
+// needs — and the group stays reusable. An external poison is returned
+// instead, for the runner to propagate.
+func (g *Group) heal(ab Abortable, selfInflicted bool) error {
+	if ab == nil {
+		return nil
+	}
+	err := ab.Err()
+	if err == nil {
+		return nil
+	}
+	if !selfInflicted {
+		return err
+	}
+	if r, ok := ab.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+	return nil
+}
+
 // Run spawns one goroutine per worker and executes steps supersteps of
 // fn(id, step), synchronizing after each. It returns when every worker has
-// finished the last step. If fn panics, the remaining participants are
-// released at the step boundary and the panic is re-raised from Run.
+// finished the last step. If fn panics, the barrier is poisoned so the
+// remaining participants release immediately, every worker stops at the
+// panicking step's boundary, and the panic is re-raised from Run (with
+// the barrier healed for reuse). If the barrier is poisoned from outside
+// mid-run, Run stops the pool and panics with the poison error.
 func (g *Group) Run(steps int, fn func(id, step int)) {
 	start := time.Now()
 	p := g.b.Participants()
-	t := newPanicTracker(p, steps)
+	ab, _ := g.b.(Abortable)
+	t := newPanicTracker(p, steps, ab)
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for id := 0; id < p; id++ {
 		go func(id int) {
 			defer wg.Done()
 			for step := 0; step < steps; step++ {
-				if t.stopped(step) {
+				if t.stopped(step) || t.abortedExternally() {
 					return
 				}
 				t.call(id, step, func() { fn(id, step) })
@@ -147,21 +202,28 @@ func (g *Group) Run(steps int, fn func(id, step int)) {
 	}
 	wg.Wait()
 	g.note(start, t.executed(steps))
+	perr := g.heal(ab, t.failed())
 	t.rethrow(steps)
+	if perr != nil {
+		panic(perr)
+	}
 }
 
-// RunErr is Run with error propagation: fn may fail, and after a step in
-// which any worker failed, no worker starts the next step. Workers always
-// finish the step they are in (everyone must reach the barrier or the
-// others would be stranded), so at most one extra step's work runs after
-// the first failure. It returns the error of the lowest-numbered failing
-// worker of the earliest failing step. A panic in fn is recovered like in
+// RunErr is Run with error propagation: fn may fail, and a failing worker
+// poisons the barrier, so parked siblings wake immediately and no worker
+// starts a step past the failing one. Workers always finish the failing
+// step itself (fn is never interrupted), so at most one step's extra work
+// runs after the first failure. It returns the error
+// of the lowest-numbered failing worker of the earliest failing step,
+// with the barrier healed for reuse. A panic in fn is recovered like in
 // Run and re-raised after the pool drains; panics take precedence over
-// errors.
+// errors. If the barrier is poisoned from outside mid-run, RunErr stops
+// the pool and returns the poison error.
 func (g *Group) RunErr(steps int, fn func(id, step int) error) error {
 	start := time.Now()
 	p := g.b.Participants()
-	t := newPanicTracker(p, steps)
+	ab, _ := g.b.(Abortable)
+	t := newPanicTracker(p, steps, ab)
 	errs := make([]error, p)
 	errStep := make([]int, p)
 	var failedStep atomic.Int64
@@ -174,9 +236,12 @@ func (g *Group) RunErr(steps int, fn func(id, step int) error) error {
 			for step := 0; step < steps; step++ {
 				if int64(step) > failedStep.Load() || t.stopped(step) {
 					// A previous step failed; every worker observes this
-					// at the same boundary because the barrier ordered
-					// the failing step's completion before this check.
+					// boundary no later than the crossing after the failing
+					// step (the poison wake, or the barrier itself).
 					return
+				}
+				if t.abortedExternally() && failedStep.Load() == int64(steps) {
+					return // external poison and no worker error recorded
 				}
 				t.call(id, step, func() {
 					if err := fn(id, step); err != nil && errs[id] == nil {
@@ -188,6 +253,9 @@ func (g *Group) RunErr(steps int, fn func(id, step int) error) error {
 							if int64(step) >= cur || failedStep.CompareAndSwap(cur, int64(step)) {
 								break
 							}
+						}
+						if ab != nil {
+							ab.Poison(fmt.Errorf("softbarrier: worker %d failed in superstep %d: %w", id, step, err))
 						}
 					}
 				})
@@ -201,6 +269,7 @@ func (g *Group) RunErr(steps int, fn func(id, step int) error) error {
 		executed = int(fs) + 1
 	}
 	g.note(start, executed)
+	perr := g.heal(ab, t.failed() || failedStep.Load() < int64(steps))
 	t.rethrow(steps)
 	if fs := failedStep.Load(); fs < int64(steps) {
 		for id := 0; id < p; id++ {
@@ -209,7 +278,7 @@ func (g *Group) RunErr(steps int, fn func(id, step int) error) error {
 			}
 		}
 	}
-	return nil
+	return perr
 }
 
 // RunFuzzy is Run for a PhasedBarrier: after each step's dependent work,
@@ -217,8 +286,10 @@ func (g *Group) RunErr(steps int, fn func(id, step int) error) error {
 // that needs nothing from other workers this step), and only then blocks.
 // Load imbalance in fn is hidden behind slackFn, the fuzzy-barrier usage
 // the paper's dynamic placement assumes. Either function may be nil. A
-// panic in either function is recovered like in Run: workers stop at the
-// same step boundary and the panic re-raises from RunFuzzy.
+// panic in either function is recovered like in Run: the barrier is
+// poisoned, workers stop at the same step boundary and the panic
+// re-raises from RunFuzzy (with the barrier healed for reuse). An
+// external poison stops the pool and re-raises as a panic, like Run.
 func (g *Group) RunFuzzy(steps int, fn, slackFn func(id, step int)) {
 	pb, ok := g.b.(PhasedBarrier)
 	if !ok {
@@ -226,14 +297,15 @@ func (g *Group) RunFuzzy(steps int, fn, slackFn func(id, step int)) {
 	}
 	start := time.Now()
 	p := g.b.Participants()
-	t := newPanicTracker(p, steps)
+	ab, _ := g.b.(Abortable)
+	t := newPanicTracker(p, steps, ab)
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for id := 0; id < p; id++ {
 		go func(id int) {
 			defer wg.Done()
 			for step := 0; step < steps; step++ {
-				if t.stopped(step) {
+				if t.stopped(step) || t.abortedExternally() {
 					return
 				}
 				if fn != nil {
@@ -249,5 +321,9 @@ func (g *Group) RunFuzzy(steps int, fn, slackFn func(id, step int)) {
 	}
 	wg.Wait()
 	g.note(start, t.executed(steps))
+	perr := g.heal(ab, t.failed())
 	t.rethrow(steps)
+	if perr != nil {
+		panic(perr)
+	}
 }

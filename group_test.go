@@ -203,3 +203,48 @@ func TestGroupRunErrSemantics(t *testing.T) {
 		t.Errorf("max executed step = %d, want 2", got)
 	}
 }
+
+// TestPanicTrackerStoppedBoundary pins the off-by-one contract of the
+// panic boundary: the panicking step itself is NOT stopped (every worker
+// must finish it so the barrier episode completes), only steps strictly
+// beyond it are.
+func TestPanicTrackerStoppedBoundary(t *testing.T) {
+	const p, steps = 4, 6
+	tr := newPanicTracker(p, steps, nil)
+	for s := 0; s < steps; s++ {
+		if tr.stopped(s) {
+			t.Fatalf("fresh tracker stopped(%d)", s)
+		}
+	}
+	if tr.failed() {
+		t.Fatal("fresh tracker reports failed")
+	}
+
+	tr.call(1, 2, func() { panic("boom") })
+
+	if !tr.failed() {
+		t.Fatal("tracker did not record the panic")
+	}
+	if tr.stopped(1) {
+		t.Fatal("step before the boundary reported stopped")
+	}
+	if tr.stopped(2) {
+		t.Fatal("the panicking step itself must not be stopped")
+	}
+	if !tr.stopped(3) {
+		t.Fatal("step past the boundary not stopped")
+	}
+	if got := tr.executed(steps); got != 3 {
+		t.Fatalf("executed = %d, want 3 (steps 0..2)", got)
+	}
+
+	// An earlier panic moves the boundary down; a later one does not.
+	tr.call(2, 4, func() { panic("late") })
+	if tr.stopped(2) || !tr.stopped(3) {
+		t.Fatal("later panic moved the boundary")
+	}
+	tr.call(3, 0, func() { panic("early") })
+	if tr.stopped(0) || !tr.stopped(1) {
+		t.Fatal("earlier panic did not move the boundary")
+	}
+}

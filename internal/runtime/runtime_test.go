@@ -128,6 +128,160 @@ func TestCellSpinPolicyStillCorrect(t *testing.T) {
 	}
 }
 
+func TestGatePoisonWakesParkedWaiters(t *testing.T) {
+	var g Gate
+	g.Init(parkOnly)
+	const waiters = 8
+	var woken atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(waiters)
+	mine := g.Seq()
+	for i := 0; i < waiters; i++ {
+		go func() {
+			defer wg.Done()
+			g.Await(mine)
+			woken.Add(1)
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // let the waiters park
+	if got := woken.Load(); got != 0 {
+		t.Fatalf("%d waiters returned before Poison", got)
+	}
+	g.Poison()
+	wg.Wait()
+	if !g.Poisoned() {
+		t.Fatal("gate not poisoned after Poison")
+	}
+
+	// Every future Await returns immediately, whatever generation it asks for.
+	done := make(chan struct{})
+	go func() {
+		g.Await(g.Seq())
+		g.Await(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Await on poisoned gate blocked")
+	}
+
+	// Unpoison at a quiescent point restores normal operation.
+	g.Unpoison()
+	if g.Poisoned() {
+		t.Fatal("gate still poisoned after Unpoison")
+	}
+	mine = g.Seq()
+	released := make(chan struct{})
+	go func() {
+		g.Await(mine)
+		close(released)
+	}()
+	time.Sleep(time.Millisecond)
+	select {
+	case <-released:
+		t.Fatal("Await returned without Open on unpoisoned gate")
+	default:
+	}
+	g.Open()
+	<-released
+}
+
+func TestGatePoisonStickyUnderOpen(t *testing.T) {
+	// Open's generation bump must not clear the poison bit.
+	var g Gate
+	g.Init(parkOnly)
+	g.Poison()
+	g.Open()
+	if !g.Poisoned() {
+		t.Fatal("Open cleared the poison bit")
+	}
+	done := make(chan struct{})
+	go func() {
+		g.Await(g.Seq())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Await blocked on a gate poisoned before Open")
+	}
+}
+
+func TestCellPoisonWakesWaiterAndStays(t *testing.T) {
+	var c Cell
+	c.Init()
+	done := make(chan uint64, 1)
+	go func() { done <- c.AwaitAtLeast(5, parkOnly) }()
+	time.Sleep(time.Millisecond) // let the waiter park
+	c.Poison()
+	select {
+	case got := <-done:
+		if got != PoisonValue {
+			t.Fatalf("poisoned wait returned %d, want PoisonValue", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Poison did not wake the parked waiter")
+	}
+	if !c.Poisoned() {
+		t.Fatal("cell not poisoned")
+	}
+
+	// A racing signaller's Set must not lower the value back below poison.
+	c.Set(7)
+	if !c.Poisoned() {
+		t.Fatal("Set un-poisoned the cell")
+	}
+	if got := c.AwaitAtLeast(1<<40, parkOnly); got != PoisonValue {
+		t.Fatalf("wait after poison returned %d, want PoisonValue", got)
+	}
+
+	// Reset restores a usable zero-valued cell.
+	c.Reset()
+	if c.Poisoned() {
+		t.Fatal("cell still poisoned after Reset")
+	}
+	c.Set(1)
+	if got := c.AwaitAtLeast(1, parkOnly); got != 1 {
+		t.Fatalf("post-Reset wait returned %d, want 1", got)
+	}
+}
+
+func TestCellSetIsMonotone(t *testing.T) {
+	var c Cell
+	c.Init()
+	c.Set(10)
+	c.Set(3) // stale signaller: must not regress the value
+	if got := c.AwaitAtLeast(10, parkOnly); got != 10 {
+		t.Fatalf("value regressed to %d after stale Set", got)
+	}
+}
+
+func TestSigmaEstimatorConcurrentObserve(t *testing.T) {
+	// All observations equal: the EWMA fixed point is the value itself, so
+	// any lost update or double-seed shows up as a wrong count or σ.
+	var e SigmaEstimator
+	e.Init(0.25)
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				e.Observe(1.0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Episodes(); got != goroutines*perG {
+		t.Fatalf("episodes = %d, want %d (lost updates)", got, goroutines*perG)
+	}
+	if got := e.Sigma(); got != 1.0 {
+		t.Fatalf("σ = %v, want exactly 1.0", got)
+	}
+}
+
 func TestSigmaEstimatorEWMA(t *testing.T) {
 	var e SigmaEstimator
 	e.Init(0.5)

@@ -11,15 +11,22 @@ const DefaultSigmaWeight = 0.2
 
 // SigmaEstimator maintains an exponentially weighted moving average of
 // per-episode arrival spreads: the measured σ that run-time adaptation and
-// the planner's measured profiles consume. Observe is called by one
-// goroutine at a time (the episode's releaser, serialized by the barrier's
-// own happens-before edges); Sigma and Episodes may be read concurrently
-// by anyone.
+// the planner's measured profiles consume. All methods are safe for
+// concurrent use: Observe folds its sample in with a CAS loop, so
+// concurrent observers (several barriers sharing one estimator, or an
+// estimator fed from outside the release path) cannot lose updates.
 type SigmaEstimator struct {
 	weight float64
 	bits   atomic.Uint64 // math.Float64bits of the current estimate
 	n      atomic.Uint64
 }
+
+// unseededBits marks an estimator that has not observed anything yet: a
+// quiet-NaN payload no arithmetic on real spreads can produce. Keeping the
+// "unseeded" state inside the same word as the estimate lets Observe
+// decide seed-vs-fold atomically with its CAS, so two racing first
+// observations cannot overwrite each other.
+const unseededBits = 0x7ff8_0000_0000_0001
 
 // Init sets the EWMA weight; values outside (0, 1] select
 // DefaultSigmaWeight. The zero estimator must be initialized before use.
@@ -28,21 +35,34 @@ func (e *SigmaEstimator) Init(weight float64) {
 		weight = DefaultSigmaWeight
 	}
 	e.weight = weight
+	e.bits.Store(unseededBits)
 }
 
 // Observe folds one episode's spread (seconds) into the estimate. The
-// first observation seeds the EWMA directly.
+// first observation seeds the EWMA directly. Concurrent observers are
+// safe: the whole load-fold-store is retried on interference.
 func (e *SigmaEstimator) Observe(spread float64) {
-	cur := spread
-	if e.n.Load() > 0 {
-		cur = (1-e.weight)*math.Float64frombits(e.bits.Load()) + e.weight*spread
+	for {
+		old := e.bits.Load()
+		cur := spread
+		if old != unseededBits {
+			cur = (1-e.weight)*math.Float64frombits(old) + e.weight*spread
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(cur)) {
+			e.n.Add(1)
+			return
+		}
 	}
-	e.bits.Store(math.Float64bits(cur))
-	e.n.Add(1)
 }
 
 // Sigma returns the current σ estimate in seconds (0 before any episode).
-func (e *SigmaEstimator) Sigma() float64 { return math.Float64frombits(e.bits.Load()) }
+func (e *SigmaEstimator) Sigma() float64 {
+	b := e.bits.Load()
+	if b == unseededBits {
+		return 0
+	}
+	return math.Float64frombits(b)
+}
 
 // Episodes returns how many spreads have been observed.
 func (e *SigmaEstimator) Episodes() uint64 { return e.n.Load() }

@@ -57,11 +57,33 @@ type PaddedInt64 struct {
 	_ [56]byte
 }
 
+// PaddedAtomicUint64 is an atomic uint64 on its own cache line, for
+// owner-written per-participant slots that a second goroutine (the
+// watchdog) reads concurrently.
+type PaddedAtomicUint64 struct {
+	V atomic.Uint64
+	_ [56]byte
+}
+
+// GatePoisonBit is the high bit of the gate's generation word. Poison sets
+// it (and nothing ever clears it short of Unpoison), so a single atomic
+// load distinguishes "generation advanced" from "barrier poisoned" on the
+// wait fast path; episode indices live in the low 63 bits and can never
+// carry into it.
+const GatePoisonBit = uint64(1) << 63
+
 // Gate is the broadcast half of a sense-reversing barrier: a monotone
 // generation counter that waiters watch and the episode's releaser bumps.
 // Await runs the spin→yield→park progression; parked waiters block on a
 // condition variable the releaser broadcasts. The zero Gate must be
 // prepared with Init before use.
+//
+// A gate can be poisoned: Poison sets the generation word's high bit,
+// which wakes every parked and spinning waiter and makes all future
+// Awaits return immediately, whatever generation they sampled. Open keeps
+// working on a poisoned gate (the bit is sticky under the low-bits
+// increment), so release paths racing with an abort need no special
+// casing.
 type Gate struct {
 	seq atomic.Uint64
 	_   [56]byte // keep the hot counter off the mutex's cache line
@@ -95,26 +117,71 @@ func (g *Gate) Open() uint64 {
 	return n
 }
 
+// released reports whether a waiter that sampled generation mine may stop
+// waiting: the generation moved on, or the gate is poisoned (the bit check
+// also covers a sample taken after the poisoning, for which s == mine).
+func released(s, mine uint64) bool {
+	return s != mine || s&GatePoisonBit != 0
+}
+
 // Await blocks until the generation differs from mine, spinning and
-// yielding within the policy's budgets before parking.
+// yielding within the policy's budgets before parking. It also returns —
+// immediately, for a post-poison sample — when the gate is poisoned.
 func (g *Gate) Await(mine uint64) {
 	for i := 0; i <= g.policy.Spin; i++ {
-		if g.seq.Load() != mine {
+		if released(g.seq.Load(), mine) {
 			return
 		}
 	}
 	for i := 0; i < g.policy.Yield; i++ {
 		runtime.Gosched()
-		if g.seq.Load() != mine {
+		if released(g.seq.Load(), mine) {
 			return
 		}
 	}
 	g.mu.Lock()
-	for g.seq.Load() == mine {
+	for !released(g.seq.Load(), mine) {
 		g.cond.Wait()
 	}
 	g.mu.Unlock()
 }
+
+// Poison sets the generation's poison bit and wakes every parked waiter.
+// It is idempotent and safe to call concurrently with Open and Await.
+func (g *Gate) Poison() {
+	g.mu.Lock()
+	for {
+		s := g.seq.Load()
+		if s&GatePoisonBit != 0 || g.seq.CompareAndSwap(s, s|GatePoisonBit) {
+			break
+		}
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Poisoned reports whether the gate has been poisoned.
+func (g *Gate) Poisoned() bool { return g.seq.Load()&GatePoisonBit != 0 }
+
+// Unpoison clears the poison bit, restoring the pre-poison generation.
+// Only meaningful at a quiescent point: no Await may be in flight.
+func (g *Gate) Unpoison() {
+	g.mu.Lock()
+	for {
+		s := g.seq.Load()
+		if s&GatePoisonBit == 0 || g.seq.CompareAndSwap(s, s&^GatePoisonBit) {
+			break
+		}
+	}
+	g.mu.Unlock()
+}
+
+// PoisonValue is the cell poison sentinel: the maximum uint64. Because
+// cell waits are of the form "value ≥ target" and episode numbers are
+// small, publishing it wakes any waiter whatever its target and makes all
+// future waits return immediately — a waiter distinguishes a poison wake
+// from a real release by comparing AwaitAtLeast's result against it.
+const PoisonValue = ^uint64(0)
 
 // Cell is a cache-line-padded signalling slot carrying a monotonically
 // increasing value, with park support for a single waiter — the building
@@ -122,6 +189,10 @@ func (g *Gate) Await(mine uint64) {
 // wakeups. Writers publish with Set; the (single) waiter blocks with
 // AwaitAtLeast. A Cell must be prepared with Init (or InitCells) before
 // use and must not be copied afterwards.
+//
+// Set enforces the monotone contract, so Poison — which publishes the
+// maximal PoisonValue — is sticky even against a signaller racing with
+// the abort.
 type Cell struct {
 	v      atomic.Uint64
 	parked atomic.Uint32
@@ -143,10 +214,17 @@ func InitCells(cells []Cell) {
 // Load returns the cell's current value.
 func (c *Cell) Load() uint64 { return c.v.Load() }
 
-// Set publishes v — which must not decrease the cell's value — and wakes
-// the parked waiter, if any.
+// Set publishes v and wakes the parked waiter, if any. Values are
+// monotone: a v at or below the current value is ignored, which keeps a
+// racing signaller from ever lowering the slot — in particular from
+// un-poisoning it.
 func (c *Cell) Set(v uint64) {
-	c.v.Store(v)
+	for {
+		cur := c.v.Load()
+		if cur >= v || c.v.CompareAndSwap(cur, v) {
+			break
+		}
+	}
 	// The waiter announces itself (parked=1) before re-checking the value,
 	// and sync/atomic is sequentially consistent, so either we observe the
 	// announcement here or the waiter's re-check observes our store.
@@ -155,6 +233,24 @@ func (c *Cell) Set(v uint64) {
 		case c.wake <- struct{}{}:
 		default:
 		}
+	}
+}
+
+// Poison publishes PoisonValue: the parked or spinning waiter wakes, and
+// every future AwaitAtLeast returns immediately (with PoisonValue).
+func (c *Cell) Poison() { c.Set(PoisonValue) }
+
+// Poisoned reports whether the cell carries the poison sentinel.
+func (c *Cell) Poisoned() bool { return c.v.Load() == PoisonValue }
+
+// Reset returns the cell to its initial state (value 0, no pending wakeup
+// token). Only meaningful at a quiescent point: no waiter in flight.
+func (c *Cell) Reset() {
+	c.v.Store(0)
+	c.parked.Store(0)
+	select {
+	case <-c.wake:
+	default:
 	}
 }
 

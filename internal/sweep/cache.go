@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // Version is the code-version salt mixed into every cache key. Bump it
@@ -31,7 +33,8 @@ type Cache struct {
 	hits, misses atomic.Int64
 }
 
-// OpenCache opens (creating if needed) a cache rooted at dir.
+// OpenCache opens (creating if needed) a cache rooted at dir. Temp files
+// orphaned by a process that died mid-write are swept opportunistically.
 func OpenCache(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("sweep: empty cache directory")
@@ -39,7 +42,45 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: open cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	c := &Cache{dir: dir}
+	c.sweepOrphans()
+	return c, nil
+}
+
+// orphanTTL is how old a temp file must be before sweepOrphans removes
+// it: long enough that no live writer can still own it (a Put lasts
+// milliseconds), short enough that crash debris does not accumulate.
+const orphanTTL = time.Hour
+
+// sweepOrphans removes stale ".tmp-*" files left in the shard directories
+// by a process that died between the temp write and the atomic rename.
+// Fresh temp files are left alone so a concurrently writing process is
+// never raced; like Put, the whole sweep is best-effort.
+func (c *Cache) sweepOrphans() {
+	shards, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		shardDir := filepath.Join(c.dir, sh.Name())
+		entries, err := os.ReadDir(shardDir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if !strings.HasPrefix(e.Name(), ".tmp-") {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil || time.Since(info.ModTime()) < orphanTTL {
+				continue
+			}
+			os.Remove(filepath.Join(shardDir, e.Name()))
+		}
+	}
 }
 
 // Dir returns the cache's root directory.

@@ -130,7 +130,12 @@ func Run[R any](e *Engine, s Spec, fn PointFunc[R]) []R {
 			return
 		}
 		p := Progress{Done: done, Total: n, CacheHits: hits, Elapsed: time.Since(start)}
-		if computed := done - hits; computed > 0 && done < n {
+		// Extrapolate only once at least one point was actually computed
+		// (cache hits return in microseconds and would produce a nonsense
+		// mean), and guard done > 0 explicitly so no refactor of the
+		// accounting above can ever reintroduce a divide-by-zero Inf/NaN
+		// Remaining on the first tick.
+		if computed := done - hits; computed > 0 && done > 0 && done < n {
 			p.Remaining = time.Duration(float64(p.Elapsed) / float64(done) * float64(n-done))
 		}
 		report(p)

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
+	"time"
 
 	"softbarrier/internal/stats"
 )
@@ -189,6 +190,102 @@ func TestProgressReporting(t *testing.T) {
 		if snaps[k].Done != snaps[k-1].Done+1 {
 			t.Fatalf("progress not monotone: %+v -> %+v", snaps[k-1], snaps[k])
 		}
+	}
+}
+
+// TestProgressETAAllCacheHits pins the done == hits corner: a fully warm
+// run completes every point from the cache, so the per-point mean is
+// meaningless and Remaining must stay zero rather than divide by the zero
+// computed-point count.
+func TestProgressETAAllCacheHits(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(6)
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(&Engine{Workers: 2, Cache: c1}, spec, simulate)
+
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Progress
+	Run(&Engine{Workers: 2, Cache: c2, Report: func(p Progress) { snaps = append(snaps, p) }}, spec, simulate)
+	if len(snaps) != len(spec.Keys) {
+		t.Fatalf("%d progress reports for %d points", len(snaps), len(spec.Keys))
+	}
+	for _, p := range snaps {
+		if p.Remaining != 0 {
+			t.Fatalf("all-hit snapshot %+v has nonzero Remaining", p)
+		}
+		if p.CacheHits != p.Done {
+			t.Fatalf("all-hit snapshot %+v: hits != done", p)
+		}
+	}
+}
+
+// TestProgressETAFinite checks that computed points produce a sane
+// extrapolation: never negative, never NaN/Inf (which a divide-by-zero on
+// the first tick used to produce), and zero on the final snapshot.
+func TestProgressETAFinite(t *testing.T) {
+	spec := testSpec(8)
+	var snaps []Progress
+	Run(&Engine{Workers: 1, Report: func(p Progress) { snaps = append(snaps, p) }}, spec, simulate)
+	for k, p := range snaps {
+		if p.Remaining < 0 {
+			t.Fatalf("snapshot %d: negative Remaining %v", k, p.Remaining)
+		}
+	}
+	if last := snaps[len(snaps)-1]; last.Remaining != 0 {
+		t.Fatalf("final snapshot %+v has nonzero Remaining", last)
+	}
+}
+
+// TestCacheSweepsStaleOrphans checks that OpenCache removes temp files
+// abandoned by a crashed writer, leaves fresh temp files alone (a live
+// writer may still own them), and does not disturb real entries.
+func TestCacheSweepsStaleOrphans(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(4)
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustJSON(t, Run(&Engine{Workers: 1, Cache: c}, spec, simulate))
+
+	shard := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(shard, ".tmp-stale")
+	fresh := filepath.Join(shard, ".tmp-fresh")
+	for _, f := range []string{stale, fresh} {
+		if err := os.WriteFile(f, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * orphanTTL)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale orphan survived reopen: stat err = %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file was removed: %v", err)
+	}
+	got := mustJSON(t, Run(&Engine{Workers: 1, Cache: c2}, spec, simulate))
+	if got != want {
+		t.Fatalf("entries lost after orphan sweep:\n got %s\nwant %s", got, want)
+	}
+	if c2.Hits() != int64(len(spec.Keys)) {
+		t.Fatalf("post-sweep run: hits=%d want %d", c2.Hits(), len(spec.Keys))
 	}
 }
 

@@ -1,6 +1,8 @@
 package softbarrier
 
 import (
+	"time"
+
 	rt "softbarrier/internal/runtime"
 )
 
@@ -35,6 +37,7 @@ type options struct {
 	policy     rt.WaitPolicy
 	clock      func() int64
 	treeWakeup bool
+	watchdog   time.Duration
 }
 
 func applyOptions(opts []Option) options {
@@ -72,6 +75,18 @@ func WithWaitPolicy(p WaitPolicy) Option {
 		p.Yield = 0
 	}
 	return func(o *options) { o.policy = rt.WaitPolicy{Spin: p.Spin, Yield: p.Yield} }
+}
+
+// WithWatchdog arms a stall detector on the barrier: a background
+// goroutine watches per-participant arrival counters and, once an episode
+// has made no progress for at least d while some participants have
+// arrived and others have not, poisons the barrier with a *StallError
+// naming the absent participant ids. An idle barrier (no episode open) is
+// never poisoned, so d bounds the tolerated arrival spread, not the step
+// length between episodes. Call Close when the barrier is done with to
+// release the goroutine; d <= 0 disables the watchdog.
+func WithWatchdog(d time.Duration) Option {
+	return func(o *options) { o.watchdog = d }
 }
 
 // WithTreeWakeup selects tree-propagated wakeup on TreeBarrier: released

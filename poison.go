@@ -1,0 +1,209 @@
+package softbarrier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rt "softbarrier/internal/runtime"
+)
+
+// ErrPoisoned is the error a poisoned barrier reports when no more
+// specific cause was given to Poison.
+var ErrPoisoned = errors.New("softbarrier: barrier poisoned")
+
+// StallError is the diagnostic a watchdog-poisoned barrier reports: an
+// episode in which some participants arrived and then nothing moved for
+// at least the watchdog duration. Extract it with errors.As to learn
+// which participants never showed up.
+type StallError struct {
+	// Missing lists, in ascending order, the participant ids that had not
+	// arrived at the stalled episode when the watchdog fired.
+	Missing []int
+	// Waited is how long the episode had made no progress.
+	Waited time.Duration
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("softbarrier: episode stalled for %v: participants %v have not arrived", e.Waited, e.Missing)
+}
+
+// poisonCore is the abort machinery shared by every barrier in the
+// package, embedded so that Poison, Err, Reset and Close are promoted
+// onto each barrier type. The barrier supplies two callbacks at
+// construction: wake poisons its wait primitives (gates, cells) so every
+// parked and spinning waiter escapes, and clear reinitializes its episode
+// state so Reset can return the barrier to service.
+type poisonCore struct {
+	wake  func() // poison the barrier's wait primitives
+	clear func() // reinitialize episode state; called only at quiescence
+
+	state atomic.Uint32 // 0 healthy, 1 poisoned; written after err below
+	mu    sync.Mutex
+	err   error
+
+	// arrived counts each participant's arrivals (1-based episodes). The
+	// owner bumps its own padded slot; only the watchdog reads across.
+	arrived []rt.PaddedAtomicUint64
+
+	wdStop chan struct{}
+	wdOnce sync.Once
+}
+
+// initPoison wires the core. watchdog > 0 starts the stall detector.
+func (c *poisonCore) initPoison(p int, watchdog time.Duration, wake, clear func()) {
+	c.wake = wake
+	c.clear = clear
+	c.arrived = make([]rt.PaddedAtomicUint64, p)
+	if watchdog > 0 {
+		c.wdStop = make(chan struct{})
+		go c.runWatchdog(watchdog)
+	}
+}
+
+// noteArrive records participant id's arrival for the watchdog.
+func (c *poisonCore) noteArrive(id int) { c.arrived[id].V.Add(1) }
+
+// poisoned is the hot-path check: one atomic load while healthy.
+func (c *poisonCore) poisoned() bool { return c.state.Load() != 0 }
+
+// Poison marks the barrier failed: every parked and spinning waiter
+// wakes, and all future waits return immediately. Blocking calls made
+// after the poisoning (Wait, Arrive, Await and the Ctx variants) are
+// no-ops; Err reports the cause. The first error wins; nil selects
+// ErrPoisoned. Poison is idempotent and safe from any goroutine,
+// including concurrently with waits and releases.
+func (c *poisonCore) Poison(err error) {
+	if err == nil {
+		err = ErrPoisoned
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	c.mu.Unlock()
+	// Publish the flag only after the error is in place, so any waiter
+	// that observes the poisoned state finds a non-nil Err.
+	c.state.Store(1)
+	c.wake()
+}
+
+// Err returns the poison error, or nil while the barrier is healthy.
+func (c *poisonCore) Err() error {
+	if !c.poisoned() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Reset returns a poisoned barrier to service. It may only be called at a
+// quiescent point: no Wait/Arrive/Await (or Ctx variant) in flight, and
+// every previously woken participant returned. Episode state is
+// reinitialized; a watchdog installed with WithWatchdog resumes
+// monitoring.
+func (c *poisonCore) Reset() {
+	c.clear()
+	for i := range c.arrived {
+		c.arrived[i].V.Store(0)
+	}
+	c.mu.Lock()
+	c.err = nil
+	c.mu.Unlock()
+	c.state.Store(0)
+}
+
+// Close stops the watchdog goroutine installed by WithWatchdog; barriers
+// built without one need no Close. Close does not poison the barrier —
+// in-flight episodes complete normally, it only ends stall monitoring.
+func (c *poisonCore) Close() {
+	if c.wdStop != nil {
+		c.wdOnce.Do(func() { close(c.wdStop) })
+	}
+}
+
+// runWatchdog polls the arrival counters a few times per period d. An
+// episode is stalled when the counters are frozen while unequal: someone
+// arrived (its count leads) and the others made no progress. Frozen-equal
+// counters mean the barrier is idle between episodes — participants off
+// doing step work arbitrarily long — which is never poisoned. After d of
+// no movement the core is poisoned with a StallError naming the absent
+// ids, so the error that unblocks everyone says who to go debug.
+func (c *poisonCore) runWatchdog(d time.Duration) {
+	tick := d / 4
+	if tick < 100*time.Microsecond {
+		tick = 100 * time.Microsecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	prev := make([]uint64, len(c.arrived))
+	cur := make([]uint64, len(c.arrived))
+	last := time.Now() // when progress (or quiescence) was last observed
+	for {
+		select {
+		case <-c.wdStop:
+			return
+		case <-ticker.C:
+		}
+		if c.poisoned() {
+			last = time.Now()
+			continue
+		}
+		changed := false
+		hi, lo := uint64(0), ^uint64(0)
+		for i := range cur {
+			v := c.arrived[i].V.Load()
+			cur[i] = v
+			if v != prev[i] {
+				changed = true
+			}
+			if v > hi {
+				hi = v
+			}
+			if v < lo {
+				lo = v
+			}
+		}
+		copy(prev, cur)
+		if changed || hi == lo {
+			last = time.Now()
+			continue
+		}
+		stalled := time.Since(last)
+		if stalled < d {
+			continue
+		}
+		missing := make([]int, 0, len(cur))
+		for i, v := range cur {
+			if v < hi {
+				missing = append(missing, i)
+			}
+		}
+		c.Poison(&StallError{Missing: missing, Waited: stalled})
+	}
+}
+
+// waitCtx wraps a blocking wait with cancellation: if ctx is cancelled or
+// times out while the wait is in flight, the whole barrier is poisoned
+// with ctx's error — the cancelled participant will not arrive (or stops
+// awaiting), so poisoning is the only way the other participants can
+// learn the episode is dead rather than parking forever.
+func (c *poisonCore) waitCtx(ctx context.Context, wait func()) error {
+	if err := c.Err(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		c.Poison(err)
+		return c.Err()
+	}
+	stop := context.AfterFunc(ctx, func() { c.Poison(ctx.Err()) })
+	wait()
+	stop()
+	return c.Err()
+}

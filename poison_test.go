@@ -1,0 +1,485 @@
+package softbarrier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// abortableVariants enumerates every root barrier type (plus the tree
+// wakeup and ring-constrained variants) under a fixed participant count,
+// so the poison / watchdog / cancellation contracts are pinned uniformly.
+// The opts slice is copied before appending so table entries never alias
+// each other's backing arrays.
+func abortableVariants(p int, opts ...Option) []struct {
+	name  string
+	build func() ContextBarrier
+} {
+	mk := func(f func(o []Option) ContextBarrier) func() ContextBarrier {
+		own := append([]Option(nil), opts...)
+		return func() ContextBarrier { return f(own) }
+	}
+	return []struct {
+		name  string
+		build func() ContextBarrier
+	}{
+		{"central", mk(func(o []Option) ContextBarrier { return NewCentral(p, o...) })},
+		{"tree-gate", mk(func(o []Option) ContextBarrier { return NewCombiningTree(p, 2, o...) })},
+		{"tree-wakeup", mk(func(o []Option) ContextBarrier {
+			return NewMCSTree(p, 2, append(append([]Option(nil), o...), WithTreeWakeup())...)
+		})},
+		{"tournament", mk(func(o []Option) ContextBarrier { return NewTournament(p, o...) })},
+		{"dissemination", mk(func(o []Option) ContextBarrier { return NewDissemination(p, o...) })},
+		{"dynamic", mk(func(o []Option) ContextBarrier { return NewDynamic(p, 2, o...) })},
+		{"dynamic-ring", mk(func(o []Option) ContextBarrier {
+			return NewDynamicRing([]int{p / 2, p - p/2}, 2, o...)
+		})},
+		{"adaptive", mk(func(o []Option) ContextBarrier { return NewAdaptive(p, 8, 0, o...) })},
+	}
+}
+
+// runHealthyEpisodes drives n full episodes with every participant, to
+// prove a barrier is (still) operational.
+func runHealthyEpisodes(t *testing.T, b ContextBarrier, n int) {
+	t.Helper()
+	p := b.Participants()
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			for e := 0; e < n; e++ {
+				b.Wait(id)
+			}
+		}(id)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("healthy episodes deadlocked")
+	}
+	if err := b.Err(); err != nil {
+		t.Fatalf("healthy episodes poisoned the barrier: %v", err)
+	}
+}
+
+// TestPoisonUnblocksWaiters is the core abort contract: participants
+// parked in an episode that will never complete (one participant is
+// missing) all release promptly once the barrier is poisoned, Err reports
+// the cause, and every subsequent Wait returns immediately.
+func TestPoisonUnblocksWaiters(t *testing.T) {
+	const p = 4
+	cause := errors.New("test: abandon ship")
+	for _, v := range abortableVariants(p, WithWaitPolicy(WaitPolicy{})) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			var wg sync.WaitGroup
+			wg.Add(p - 1)
+			for id := 0; id < p-1; id++ { // participant p-1 never arrives
+				go func(id int) {
+					defer wg.Done()
+					b.Wait(id)
+				}(id)
+			}
+			time.Sleep(5 * time.Millisecond) // let the waiters park
+			b.Poison(cause)
+
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("poison did not release the parked waiters")
+			}
+			if err := b.Err(); !errors.Is(err, cause) {
+				t.Fatalf("Err() = %v, want %v", err, cause)
+			}
+
+			// All future waits — including the straggler's — return at once.
+			quick := make(chan struct{})
+			go func() {
+				for id := 0; id < p; id++ {
+					b.Wait(id)
+				}
+				close(quick)
+			}()
+			select {
+			case <-quick:
+			case <-time.After(5 * time.Second):
+				t.Fatal("Wait on a poisoned barrier blocked")
+			}
+
+			// First error wins: a second Poison must not overwrite it.
+			b.Poison(errors.New("test: too late"))
+			if err := b.Err(); !errors.Is(err, cause) {
+				t.Fatalf("second Poison overwrote the error: %v", err)
+			}
+		})
+	}
+}
+
+// TestPoisonResetRestoresBarrier checks that Reset at a quiescent point
+// clears the poison and the barrier completes full episodes again.
+func TestPoisonResetRestoresBarrier(t *testing.T) {
+	const p = 4
+	for _, v := range abortableVariants(p, WithWaitPolicy(WaitPolicy{})) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			runHealthyEpisodes(t, b, 3)
+
+			// Strand an episode, poison it, drain the waiters.
+			var wg sync.WaitGroup
+			wg.Add(p - 1)
+			for id := 0; id < p-1; id++ {
+				go func(id int) {
+					defer wg.Done()
+					b.Wait(id)
+				}(id)
+			}
+			time.Sleep(2 * time.Millisecond)
+			b.Poison(errors.New("test: stranded"))
+			wg.Wait()
+
+			r, ok := b.(interface{ Reset() })
+			if !ok {
+				t.Fatal("barrier does not expose Reset")
+			}
+			r.Reset()
+			if err := b.Err(); err != nil {
+				t.Fatalf("Err() after Reset = %v", err)
+			}
+			runHealthyEpisodes(t, b, 3)
+		})
+	}
+}
+
+// TestWaitCtxCancelPoisons checks context-aware waits: cancelling the
+// context of one blocked participant poisons the whole episode, so every
+// sibling (plain Wait or WaitCtx alike) releases, and the context error is
+// what WaitCtx and Err report.
+func TestWaitCtxCancelPoisons(t *testing.T) {
+	const p = 4
+	for _, v := range abortableVariants(p, WithWaitPolicy(WaitPolicy{})) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			ctx, cancel := context.WithCancel(context.Background())
+			errs := make([]error, p-1)
+			var wg sync.WaitGroup
+			wg.Add(p - 1) // participant p-1 never arrives
+			for id := 0; id < p-1; id++ {
+				go func(id int) {
+					defer wg.Done()
+					errs[id] = b.WaitCtx(ctx, id)
+				}(id)
+			}
+			time.Sleep(5 * time.Millisecond) // let the waiters block
+			cancel()
+
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("cancellation did not release the waiters")
+			}
+			for id, err := range errs {
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("worker %d: WaitCtx = %v, want context.Canceled", id, err)
+				}
+			}
+			if err := b.Err(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Err() = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestWaitCtxPreCancelled checks that a context that is already dead
+// poisons the barrier without ever entering the wait: the caller was never
+// going to arrive, so letting the others park would strand them.
+func TestWaitCtxPreCancelled(t *testing.T) {
+	const p = 4
+	for _, v := range abortableVariants(p, WithWaitPolicy(WaitPolicy{})) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if err := b.WaitCtx(ctx, 0); !errors.Is(err, context.Canceled) {
+				t.Fatalf("WaitCtx(dead ctx) = %v, want context.Canceled", err)
+			}
+			if err := b.Err(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Err() = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestWaitCtxCompletesNormally checks the non-cancellation path: with
+// every participant arriving, WaitCtx behaves exactly like Wait and
+// returns nil with the context still live.
+func TestWaitCtxCompletesNormally(t *testing.T) {
+	const p = 4
+	for _, v := range abortableVariants(p, WithWaitPolicy(WaitPolicy{})) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			ctx := context.Background()
+			for e := 0; e < 3; e++ {
+				var wg sync.WaitGroup
+				wg.Add(p)
+				errs := make([]error, p)
+				for id := 0; id < p; id++ {
+					go func(id int) {
+						defer wg.Done()
+						errs[id] = b.WaitCtx(ctx, id)
+					}(id)
+				}
+				wg.Wait()
+				for id, err := range errs {
+					if err != nil {
+						t.Fatalf("episode %d worker %d: WaitCtx = %v", e, id, err)
+					}
+				}
+			}
+			if err := b.Err(); err != nil {
+				t.Fatalf("Err() = %v after healthy WaitCtx episodes", err)
+			}
+		})
+	}
+}
+
+// TestWatchdogPoisonsStalledEpisode checks the deadlock watchdog: healthy
+// episodes never trip it, but an episode missing one participant is
+// poisoned with a StallError naming exactly the absent ids, releasing
+// everyone parked.
+func TestWatchdogPoisonsStalledEpisode(t *testing.T) {
+	const p = 4
+	const missing = 3
+	for _, v := range abortableVariants(p, WithWaitPolicy(WaitPolicy{}), WithWatchdog(75*time.Millisecond)) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			defer b.(interface{ Close() }).Close()
+			runHealthyEpisodes(t, b, 3)
+
+			var wg sync.WaitGroup
+			wg.Add(p - 1)
+			for id := 0; id < p; id++ {
+				if id == missing {
+					continue
+				}
+				go func(id int) {
+					defer wg.Done()
+					b.Wait(id)
+				}(id)
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("watchdog never released the stalled episode")
+			}
+			var stall *StallError
+			if err := b.Err(); !errors.As(err, &stall) {
+				t.Fatalf("Err() = %v, want a *StallError", err)
+			}
+			if len(stall.Missing) != 1 || stall.Missing[0] != missing {
+				t.Fatalf("StallError.Missing = %v, want [%d]", stall.Missing, missing)
+			}
+			if stall.Waited <= 0 {
+				t.Fatalf("StallError.Waited = %v, want > 0", stall.Waited)
+			}
+		})
+	}
+}
+
+// TestWatchdogIdleBarrierNotPoisoned checks the flip side: a barrier that
+// is simply idle (no episode in flight) must never be poisoned, no matter
+// how long the watchdog watches it.
+func TestWatchdogIdleBarrierNotPoisoned(t *testing.T) {
+	const p = 4
+	for _, v := range abortableVariants(p, WithWaitPolicy(WaitPolicy{}), WithWatchdog(20*time.Millisecond)) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			defer b.(interface{ Close() }).Close()
+			runHealthyEpisodes(t, b, 2)
+			time.Sleep(150 * time.Millisecond) // many watchdog periods of idleness
+			if err := b.Err(); err != nil {
+				t.Fatalf("idle barrier poisoned: %v", err)
+			}
+			runHealthyEpisodes(t, b, 2)
+		})
+	}
+}
+
+// TestGroupPoisonOnPanicHeals checks the Group rewiring: a panicking
+// worker poisons the barrier (so parked siblings release instead of
+// deadlocking), the panic re-raises from Run, and the barrier is healed —
+// the same Group runs cleanly afterwards.
+func TestGroupPoisonOnPanicHeals(t *testing.T) {
+	const p, steps = 4, 5
+	for _, v := range abortableVariants(p, WithWaitPolicy(WaitPolicy{})) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			g := NewGroup(b)
+			func() {
+				defer func() {
+					if r := recover(); r != "kaboom" {
+						t.Fatalf("recovered %v, want the worker's panic", r)
+					}
+				}()
+				g.Run(steps, func(id, step int) {
+					if id == 2 && step == 1 {
+						panic("kaboom")
+					}
+				})
+				t.Fatal("Run returned instead of panicking")
+			}()
+			if err := b.Err(); err != nil {
+				t.Fatalf("barrier still poisoned after Run returned: %v", err)
+			}
+			g.Run(steps, func(id, step int) {}) // group is reusable
+		})
+	}
+}
+
+// TestGroupPoisonOnErrorHeals is the RunErr analogue: a failing worker
+// poisons the barrier mid-run, the error comes back, the barrier heals.
+func TestGroupPoisonOnErrorHeals(t *testing.T) {
+	const p, steps = 4, 5
+	wantErr := errors.New("test: worker failure")
+	for _, v := range abortableVariants(p, WithWaitPolicy(WaitPolicy{})) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			g := NewGroup(b)
+			err := g.RunErr(steps, func(id, step int) error {
+				if id == 1 && step == 2 {
+					return wantErr
+				}
+				return nil
+			})
+			if !errors.Is(err, wantErr) {
+				t.Fatalf("RunErr = %v, want %v", err, wantErr)
+			}
+			if err := b.Err(); err != nil {
+				t.Fatalf("barrier still poisoned after RunErr: %v", err)
+			}
+			if err := g.RunErr(steps, func(id, step int) error { return nil }); err != nil {
+				t.Fatalf("healed group failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestGroupExternalPoisonPropagates checks that a poison the group did not
+// inject itself — here, applied before the run even starts — is treated as
+// fatal: RunErr returns it, and it stays sticky (no heal).
+func TestGroupExternalPoisonPropagates(t *testing.T) {
+	const p, steps = 4, 5
+	cause := errors.New("test: external abort")
+	for _, v := range abortableVariants(p, WithWaitPolicy(WaitPolicy{})) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			b.Poison(cause)
+			g := NewGroup(b)
+			if err := g.RunErr(steps, func(id, step int) error { return nil }); !errors.Is(err, cause) {
+				t.Fatalf("RunErr = %v, want the external poison %v", err, cause)
+			}
+			if err := b.Err(); !errors.Is(err, cause) {
+				t.Fatalf("external poison was healed away: %v", err)
+			}
+		})
+	}
+}
+
+// TestGroupExternalPoisonPanicsRun is the Run analogue of the external
+// poison contract: mid-run poison from outside stops the pool and
+// re-raises as a panic carrying the poison error.
+func TestGroupExternalPoisonPanicsRun(t *testing.T) {
+	const p = 4
+	cause := errors.New("test: operator abort")
+	for _, v := range abortableVariants(p, WithWaitPolicy(WaitPolicy{})) {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			g := NewGroup(b)
+			defer func() {
+				r := recover()
+				err, ok := r.(error)
+				if !ok || !errors.Is(err, cause) {
+					t.Fatalf("recovered %v, want the poison error", r)
+				}
+			}()
+			g.Run(1000, func(id, step int) {
+				if id == 0 && step == 3 {
+					b.Poison(cause)
+				}
+			})
+			t.Fatal("Run returned despite external poison")
+		})
+	}
+}
+
+// TestPoisonConcurrentWithArrivals hammers Poison against a full episode
+// load: p participants loop Wait while an outside goroutine poisons
+// mid-flight. Nothing may deadlock and every participant must exit.
+// Primarily a -race target.
+func TestPoisonConcurrentWithArrivals(t *testing.T) {
+	const p = 4
+	for _, v := range abortableVariants(p) { // default spin/yield/park policy
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			b := v.build()
+			var wg sync.WaitGroup
+			wg.Add(p)
+			for id := 0; id < p; id++ {
+				go func(id int) {
+					defer wg.Done()
+					for e := 0; e < 200; e++ {
+						b.Wait(id)
+						if b.Err() != nil {
+							return
+						}
+					}
+				}(id)
+			}
+			go func() {
+				time.Sleep(500 * time.Microsecond)
+				b.Poison(fmt.Errorf("test: concurrent poison"))
+			}()
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("concurrent poison deadlocked the pool")
+			}
+		})
+	}
+}

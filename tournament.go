@@ -1,6 +1,8 @@
 package softbarrier
 
 import (
+	"context"
+
 	rt "softbarrier/internal/runtime"
 )
 
@@ -28,6 +30,7 @@ type TournamentBarrier struct {
 	gate   rt.Gate
 	local  []rt.PaddedUint64
 	rec    *rt.Recorder
+	poisonCore
 }
 
 // NewTournament returns a tournament barrier for p participants.
@@ -49,6 +52,23 @@ func NewTournament(p int, opts ...Option) *TournamentBarrier {
 	b.local = make([]rt.PaddedUint64, p)
 	b.gate.Init(o.policy)
 	b.rec = o.recorder(p, false)
+	b.initPoison(p, o.watchdog,
+		func() {
+			b.gate.Poison()
+			for r := range b.arrive {
+				for i := range b.arrive[r] {
+					b.arrive[r][i].Poison()
+				}
+			}
+		},
+		func() {
+			for r := range b.arrive {
+				for i := range b.arrive[r] {
+					b.arrive[r][i].Reset()
+				}
+			}
+			b.gate.Unpoison()
+		})
 	return b
 }
 
@@ -65,9 +85,14 @@ func (b *TournamentBarrier) Wait(id int) {
 }
 
 // Arrive plays participant id's tournament rounds; the champion releases
-// the episode.
+// the episode. On a poisoned barrier it is a no-op; a winner woken from a
+// round wait by poison abandons its remaining rounds.
 func (b *TournamentBarrier) Arrive(id int) {
 	checkID(id, b.p)
+	if b.poisoned() {
+		return
+	}
+	b.noteArrive(id)
 	mine := b.gate.Seq() // the 0-based episode index; stable until release
 	b.rec.Arrive(id, mine)
 	b.local[id].V = mine
@@ -83,7 +108,9 @@ func (b *TournamentBarrier) Arrive(id int) {
 		if partner >= b.p {
 			continue // bye: no opponent in this round
 		}
-		b.arrive[r][id].AwaitAtLeast(want, b.policy)
+		if b.arrive[r][id].AwaitAtLeast(want, b.policy) == rt.PoisonValue {
+			return // poison wake: the episode is dead, the gate is poisoned too
+		}
 	}
 	// Champion (id 0): everyone has arrived. Measure while the arrival
 	// slots are quiescent, then broadcast the release.
@@ -91,10 +118,25 @@ func (b *TournamentBarrier) Arrive(id int) {
 	b.gate.Open()
 }
 
-// Await blocks (spin → yield → park) until the episode's release.
+// Await blocks (spin → yield → park) until the episode's release or the
+// barrier is poisoned.
 func (b *TournamentBarrier) Await(id int) {
 	checkID(id, b.p)
 	b.gate.Await(b.local[id].V)
 }
 
+// WaitCtx is Wait with cancellation: if ctx ends while the wait is in
+// flight the barrier is poisoned, and the poison error is returned.
+func (b *TournamentBarrier) WaitCtx(ctx context.Context, id int) error {
+	checkID(id, b.p)
+	return b.waitCtx(ctx, func() { b.Wait(id) })
+}
+
+// AwaitCtx is Await with cancellation, with WaitCtx's poison semantics.
+func (b *TournamentBarrier) AwaitCtx(ctx context.Context, id int) error {
+	checkID(id, b.p)
+	return b.waitCtx(ctx, func() { b.Await(id) })
+}
+
 var _ PhasedBarrier = (*TournamentBarrier)(nil)
+var _ ContextBarrier = (*TournamentBarrier)(nil)

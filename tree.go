@@ -1,6 +1,7 @@
 package softbarrier
 
 import (
+	"context"
 	"sync"
 
 	rt "softbarrier/internal/runtime"
@@ -39,6 +40,7 @@ type TreeBarrier struct {
 	wakeFlag   []rt.Cell
 
 	rec *rt.Recorder
+	poisonCore
 }
 
 // treeCounter is one tree node's arrival counter.
@@ -82,6 +84,25 @@ func newTreeBarrier(tree *topology.Tree, opts []Option) *TreeBarrier {
 		rt.InitCells(b.wakeFlag)
 	}
 	b.rec = o.recorder(tree.P, false)
+	b.initPoison(tree.P, o.watchdog,
+		func() {
+			b.gate.Poison()
+			for i := range b.wakeFlag {
+				b.wakeFlag[i].Poison()
+			}
+		},
+		func() {
+			for i := range b.counters {
+				c := &b.counters[i]
+				c.mu.Lock()
+				c.count = 0
+				c.mu.Unlock()
+			}
+			for i := range b.wakeFlag {
+				b.wakeFlag[i].Reset()
+			}
+			b.gate.Unpoison()
+		})
 	return b
 }
 
@@ -101,9 +122,14 @@ func (b *TreeBarrier) Wait(id int) {
 }
 
 // Arrive performs participant id's counter ascent. If id completes the
-// root counter it releases the episode before returning.
+// root counter it releases the episode before returning. On a poisoned
+// barrier it is a no-op.
 func (b *TreeBarrier) Arrive(id int) {
 	checkID(id, b.p)
+	if b.poisoned() {
+		return
+	}
+	b.noteArrive(id)
 	// The gate's generation is exactly this participant's episode index:
 	// the episode cannot be released (advancing the generation) before
 	// this arrival contributes to it.
@@ -145,6 +171,9 @@ func (b *TreeBarrier) Await(id int) {
 	mine := b.myGen[id].V
 	if b.treeWakeup {
 		got := b.wakeFlag[id].AwaitAtLeast(mine+1, b.policy)
+		if got == rt.PoisonValue {
+			return // poison wake; siblings' flags were poisoned alongside
+		}
 		// Propagate the wakeup (monotone values make overlapping episodes
 		// safe: a flag may carry a newer generation, which is still a
 		// release of our episode's successor and therefore of ours).
@@ -160,4 +189,18 @@ func (b *TreeBarrier) Await(id int) {
 	b.gate.Await(mine)
 }
 
+// WaitCtx is Wait with cancellation: if ctx ends while the wait is in
+// flight the barrier is poisoned, and the poison error is returned.
+func (b *TreeBarrier) WaitCtx(ctx context.Context, id int) error {
+	checkID(id, b.p)
+	return b.waitCtx(ctx, func() { b.Wait(id) })
+}
+
+// AwaitCtx is Await with cancellation, with WaitCtx's poison semantics.
+func (b *TreeBarrier) AwaitCtx(ctx context.Context, id int) error {
+	checkID(id, b.p)
+	return b.waitCtx(ctx, func() { b.Await(id) })
+}
+
 var _ PhasedBarrier = (*TreeBarrier)(nil)
+var _ ContextBarrier = (*TreeBarrier)(nil)
