@@ -74,7 +74,7 @@ func NewAdaptive(p, interval int, tc float64, opts ...Option) *AdaptiveBarrier {
 	b.rec = o.recorder(p, true)
 	b.est.Init(rt.DefaultSigmaWeight)
 	b.state.Store(newAdaptiveState(p, 4))
-	b.initPoison(p, o.watchdog,
+	b.initPoison(p, o.watchdog, o.poisonNotify,
 		func() { b.gate.Poison() },
 		func() {
 			st := b.state.Load()

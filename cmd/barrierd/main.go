@@ -1,0 +1,57 @@
+// Command barrierd is the networked barrier coordination daemon: clients
+// connect over TCP, join named sessions, and synchronize episode by
+// episode against a server-side combining tree whose degree tracks the
+// measured arrival spread σ (internal/netbarrier).
+//
+// Usage:
+//
+//	barrierd [-listen 127.0.0.1:7643] [-watchdog 10s] [-replan 10]
+//	         [-dynamic] [-tc SECONDS] [-sigma SECONDS]
+//
+// The daemon serves until SIGINT or SIGTERM, then poisons every live
+// session (members receive a "server closed" cause instead of a hang)
+// and exits cleanly.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"softbarrier/internal/cli"
+	"softbarrier/internal/netbarrier"
+)
+
+func main() {
+	nf := cli.AddNetFlags()
+	flag.Parse()
+
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("barrierd: ")
+	opt := nf.Options()
+	opt.Logf = log.Printf
+
+	ln, err := net.Listen("tcp", nf.Listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := netbarrier.NewServer(opt)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("received %v, shutting down", s)
+		srv.Close()
+	}()
+
+	log.Printf("listening on %s (watchdog %v, replan every %d episodes, dynamic %v)",
+		ln.Addr(), opt.Watchdog, opt.ReplanEvery, opt.Dynamic)
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, netbarrier.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

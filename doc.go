@@ -58,6 +58,16 @@
 // participant count, the standard deviation of arrival times, and the cost
 // of a counter update, and it returns the delay-minimizing tree degree.
 //
+// # Networked barriers
+//
+// The same machinery runs across machine boundaries: cmd/barrierd (on
+// internal/netbarrier) is a TCP coordination service whose sessions run a
+// combining tree against remote arrivals, re-planning the tree degree
+// from the measured arrival spread σ at episode boundaries and
+// broadcasting poison causes in the wire form produced by
+// EncodePoisonCause, so errors.As and errors.Is keep working on the far
+// side of the network.
+//
 // # Fidelity note
 //
 // These barriers are real concurrent data structures, but Go's scheduler

@@ -109,7 +109,7 @@ func NewDynamicFromTree(tree *topology.Tree, opts ...Option) *DynamicBarrier {
 	}
 	b.gate.Init(o.policy)
 	b.rec = o.recorder(tree.P, false)
-	b.initPoison(tree.P, o.watchdog,
+	b.initPoison(tree.P, o.watchdog, o.poisonNotify,
 		func() { b.gate.Poison() },
 		func() {
 			// Drop the aborted episode's partial counts. The placement

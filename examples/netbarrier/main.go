@@ -1,0 +1,132 @@
+// Networked barrier example: one binary hosts an in-process barrierd and
+// drives 16 loopback clients through 100 episodes.
+//
+// The workload deliberately changes shape mid-run: episodes 0–39 arrive
+// nearly together (σ ≈ µs — the model wants a narrow tree), episodes
+// 40–69 add per-worker jitter up to 1.5 ms (large σ — the model wants a
+// wide tree), and 70–99 go quiet again. Watch the deg column: the server
+// measures the spread of every episode, folds it into an EWMA σ, and
+// re-plans the combining-tree degree when the recommendation moves — the
+// paper's σ-to-degree curve, observable over TCP.
+//
+// The process exits non-zero if any client sees a stall or error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"softbarrier/internal/cli"
+	"softbarrier/internal/netbarrier"
+)
+
+const (
+	workers  = 16
+	episodes = 100
+)
+
+func main() {
+	nf := cli.AddNetFlags()
+	quiet := flag.Bool("quiet", false, "print only the episodes around a degree change")
+	flag.Parse()
+
+	opt := nf.Options()
+	if nf.Replan == 10 { // demo default: re-plan often enough to see the shift
+		opt.ReplanEvery = 5
+	}
+
+	srv := netbarrier.NewServer(opt)
+	go srv.ListenAndServe("127.0.0.1:0")
+	defer srv.Close()
+	addr, err := waitAddr(srv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("barrierd on %s, %d clients x %d episodes\n", addr, workers, episodes)
+
+	clients := make([]*netbarrier.Client, workers)
+	for i := range clients {
+		c, err := netbarrier.Dial(addr)
+		if err == nil {
+			err = c.Join("demo", workers)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "client %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		clients[i] = c
+	}
+
+	// Client 0 reports each episode's telemetry; all clients run the
+	// phased workload. Releases are identical on every socket, so one
+	// reporter suffices.
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	rels := make([]netbarrier.Release, episodes)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *netbarrier.Client) {
+			defer wg.Done()
+			defer c.Leave()
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			for ep := 0; ep < episodes; ep++ {
+				if ep >= 40 && ep < 70 { // the imbalanced phase
+					time.Sleep(time.Duration(rng.Int63n(1500)) * time.Microsecond)
+				}
+				r, err := c.Wait()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if i == 0 {
+					rels[ep] = r
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	failed := false
+	for i, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "client %d failed: %v\n", i, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+
+	fmt.Printf("%8s %5s %12s %12s\n", "episode", "deg", "spread", "sigma")
+	prev := -1
+	for ep, r := range rels {
+		changed := r.Degree != prev
+		if !*quiet || changed || ep == episodes-1 {
+			mark := "  "
+			if changed && prev != -1 {
+				mark = "<- re-plan"
+			}
+			fmt.Printf("%8d %5d %12s %12s %s\n", r.Episode, r.Degree,
+				cli.Dur(r.Spread), cli.Dur(r.Sigma), mark)
+		}
+		prev = r.Degree
+	}
+	fmt.Printf("all %d clients completed %d episodes\n", workers, episodes)
+}
+
+// waitAddr polls until the server has bound its ephemeral port.
+func waitAddr(srv *netbarrier.Server) (string, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if a := srv.Addr(); a != "" {
+			return a, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return "", fmt.Errorf("server did not bind a listener within 5s")
+}

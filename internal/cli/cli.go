@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"softbarrier/internal/barriersim"
+	"softbarrier/internal/netbarrier"
 	"softbarrier/internal/sweep"
 	"softbarrier/internal/topology"
 )
@@ -136,4 +137,46 @@ func (f *TreeFlags) Build(p, degree int) (*topology.Tree, error) {
 // display, the formatting shared by the simulation commands.
 func Dur(sec float64) time.Duration {
 	return time.Duration(sec * float64(time.Second)).Round(100 * time.Nanosecond)
+}
+
+// NetFlags carries the networked-barrier service configuration shared by
+// cmd/barrierd and examples/netbarrier, mirroring netbarrier.Options
+// field for field where a flag makes sense.
+type NetFlags struct {
+	// Listen is the TCP listen address.
+	Listen string
+	// Watchdog is the per-session stall deadline; 0 disables detection.
+	Watchdog time.Duration
+	// Replan is how many episodes pass between planner re-evaluations.
+	Replan int
+	// Dynamic marks imbalance as systemic, selecting dynamic placement.
+	Dynamic bool
+	// Tc is the model's counter-update cost in seconds; 0 = the paper's 20µs.
+	Tc float64
+	// Sigma is the arrival spread assumed before any episode is measured.
+	Sigma float64
+}
+
+// AddNetFlags registers the barrierd service flags on the default FlagSet.
+func AddNetFlags() *NetFlags {
+	f := &NetFlags{}
+	flag.StringVar(&f.Listen, "listen", "127.0.0.1:7643", "TCP listen address")
+	flag.DurationVar(&f.Watchdog, "watchdog", 10*time.Second, "per-session stall deadline (0 disables stall detection)")
+	flag.IntVar(&f.Replan, "replan", 10, "episodes between tree-degree re-plans (0 = every episode)")
+	flag.BoolVar(&f.Dynamic, "dynamic", false, "treat imbalance as systemic: use dynamic-placement trees")
+	flag.Float64Var(&f.Tc, "tc", 0, "model counter-update cost in seconds (0 = 20µs)")
+	flag.Float64Var(&f.Sigma, "sigma", 0, "assumed arrival spread in seconds before measurement")
+	return f
+}
+
+// Options maps the flags onto a netbarrier server configuration. Logf is
+// left nil; callers wire their own logger.
+func (f *NetFlags) Options() netbarrier.Options {
+	return netbarrier.Options{
+		Watchdog:     f.Watchdog,
+		ReplanEvery:  f.Replan,
+		Dynamic:      f.Dynamic,
+		Tc:           f.Tc,
+		InitialSigma: f.Sigma,
+	}
 }

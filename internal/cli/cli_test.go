@@ -91,3 +91,15 @@ func TestDur(t *testing.T) {
 		t.Fatalf("Dur(0.0005) = %v", d)
 	}
 }
+
+func TestNetFlagsOptions(t *testing.T) {
+	f := &NetFlags{Watchdog: 3 * time.Second, Replan: 5, Dynamic: true, Tc: 1e-5, Sigma: 2e-4}
+	opt := f.Options()
+	if opt.Watchdog != 3*time.Second || opt.ReplanEvery != 5 || !opt.Dynamic ||
+		opt.Tc != 1e-5 || opt.InitialSigma != 2e-4 {
+		t.Fatalf("options = %+v do not mirror flags %+v", opt, f)
+	}
+	if opt.Logf != nil {
+		t.Fatal("Options must leave Logf for the caller to wire")
+	}
+}

@@ -1,0 +1,53 @@
+package netbarrier
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkNetBarrier measures full networked episodes over loopback TCP:
+// every client sends Arrive and blocks for its Release frame, so ns/op is
+// the wall-clock cost of one complete episode at each cohort size —
+// the number to put next to the in-process waiter-policy benchmarks when
+// deciding whether a workload can afford a network hop per episode.
+func BenchmarkNetBarrier(b *testing.B) {
+	for _, p := range []int{2, 8, 64} {
+		b.Run(fmt.Sprintf("%dclients", p), func(b *testing.B) {
+			addr, _ := startServer(b, Options{Watchdog: 30 * time.Second})
+			clients := make([]*Client, p)
+			for i := range clients {
+				clients[i] = dialJoin(b, addr, "bench", p, i)
+			}
+			defer func() {
+				for _, c := range clients {
+					c.Leave()
+				}
+			}()
+
+			var wg sync.WaitGroup
+			errs := make([]error, p)
+			b.ResetTimer()
+			for i, c := range clients {
+				wg.Add(1)
+				go func(i int, c *Client) {
+					defer wg.Done()
+					for ep := 0; ep < b.N; ep++ {
+						if _, err := c.Wait(); err != nil {
+							errs[i] = err
+							return
+						}
+					}
+				}(i, c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			for i, err := range errs {
+				if err != nil {
+					b.Fatalf("client %d: %v", i, err)
+				}
+			}
+		})
+	}
+}

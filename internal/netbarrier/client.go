@@ -1,0 +1,227 @@
+package netbarrier
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"softbarrier"
+)
+
+// Release is what a completed episode looks like from a client: the
+// episode index, the tree degree the next episode will run at (it moves
+// when the server re-plans), the episode's measured arrival spread, and
+// the session's EWMA σ estimate — the same telemetry a local Observer
+// would see, one frame per episode.
+type Release struct {
+	Episode uint64
+	Degree  int
+	Spread  float64 // this episode's arrival spread, seconds
+	Sigma   float64 // the session's EWMA σ estimate, seconds
+}
+
+// Client is one participant of a networked barrier session. The calling
+// pattern mirrors softbarrier.PhasedBarrier: Arrive announces arrival
+// without blocking (the fuzzy-barrier half — do slack work after it),
+// Await blocks until the server releases the episode, Wait is both. A
+// client is not safe for concurrent use; like a participant id, it
+// belongs to one goroutine.
+//
+// Errors are sticky: once a wait returns a poison cause (or the
+// connection fails), every subsequent call returns the same error, just
+// as waits on a poisoned in-process barrier do. The cause survives the
+// wire with its identity intact — errors.As recovers a
+// *softbarrier.StallError, errors.Is matches context.Canceled and friends.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	joined  bool
+	left    bool
+	id      int
+	p       int
+	degree  int
+	episode uint64
+	sigma   float64
+	err     error
+}
+
+// Dial connects to a barrierd server. Join must be called next.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Join enters the named session as one of p participants, letting the
+// server pick the participant id.
+func (c *Client) Join(session string, p int) error { return c.JoinAs(session, p, -1) }
+
+// JoinAs is Join with an explicit participant id request.
+func (c *Client) JoinAs(session string, p, id int) error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.joined {
+		return c.fail(errors.New("netbarrier: already joined"))
+	}
+	if err := c.write(Frame{Type: TypeJoinReq, Name: session, P: p, ID: id}); err != nil {
+		return c.fail(err)
+	}
+	resp, err := ReadFrame(c.br)
+	if err != nil {
+		return c.fail(fmt.Errorf("netbarrier: join failed: %w", err))
+	}
+	if resp.Type != TypeJoinResp {
+		return c.fail(fmt.Errorf("netbarrier: join answered with frame type %d", resp.Type))
+	}
+	if resp.Err != "" {
+		return c.fail(fmt.Errorf("netbarrier: join refused: %s", resp.Err))
+	}
+	c.joined = true
+	c.id = resp.ID
+	c.p = resp.P
+	c.degree = resp.Degree
+	c.episode = resp.Episode
+	return nil
+}
+
+// ID returns the participant id the server assigned.
+func (c *Client) ID() int { return c.id }
+
+// Participants returns the session's participant count.
+func (c *Client) Participants() int { return c.p }
+
+// Degree returns the tree degree of the upcoming episode, as of the last
+// release (or the join).
+func (c *Client) Degree() int { return c.degree }
+
+// Sigma returns the session's σ estimate as of the last release, seconds.
+func (c *Client) Sigma() float64 { return c.sigma }
+
+// Err returns the sticky error, or nil while the client is healthy.
+func (c *Client) Err() error { return c.err }
+
+// Arrive announces arrival at the current episode without waiting for its
+// completion — the fuzzy-barrier arrival half.
+func (c *Client) Arrive() error {
+	if c.err != nil {
+		return c.err
+	}
+	if !c.joined {
+		return c.fail(errors.New("netbarrier: arrive before join"))
+	}
+	if err := c.write(Frame{Type: TypeArrive, Episode: c.episode}); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// Await blocks until the server releases the episode Arrive announced, or
+// delivers a poison cause. It returns the episode's Release telemetry.
+func (c *Client) Await() (Release, error) {
+	if c.err != nil {
+		return Release{}, c.err
+	}
+	f, err := ReadFrame(c.br)
+	if err != nil {
+		return Release{}, c.fail(fmt.Errorf("netbarrier: connection failed awaiting release: %w", err))
+	}
+	switch f.Type {
+	case TypeRelease:
+		c.episode = f.Episode + 1
+		c.degree = f.Degree
+		c.sigma = f.Sigma
+		return Release{Episode: f.Episode, Degree: f.Degree, Spread: f.Spread, Sigma: f.Sigma}, nil
+	case TypePoison:
+		return Release{}, c.fail(softbarrier.DecodePoisonCause(f.Cause))
+	default:
+		return Release{}, c.fail(fmt.Errorf("netbarrier: unexpected frame type %d while awaiting release", f.Type))
+	}
+}
+
+// Wait is Arrive followed by Await: one whole barrier episode.
+func (c *Client) Wait() (Release, error) {
+	if err := c.Arrive(); err != nil {
+		return Release{}, err
+	}
+	return c.Await()
+}
+
+// AwaitCtx is Await with cancellation. If ctx ends first, the wait is
+// abandoned: the connection is no longer usable mid-stream, so the client
+// becomes permanently failed with ctx's error, and closing it lets the
+// server poison the session for the remaining participants — the same
+// "cancelled participant kills the episode" semantics as the in-process
+// WaitCtx, with the poison propagation running server-side.
+func (c *Client) AwaitCtx(ctx context.Context) (Release, error) {
+	if c.err != nil {
+		return Release{}, c.err
+	}
+	if err := ctx.Err(); err != nil {
+		return Release{}, c.fail(err)
+	}
+	stop := context.AfterFunc(ctx, func() {
+		c.conn.SetReadDeadline(time.Unix(0, 1)) // unblock the pending read
+	})
+	r, err := c.Await()
+	if !stop() {
+		// ctx fired: report its error, whatever state the aborted read left.
+		<-ctx.Done()
+		c.err = ctx.Err()
+		return Release{}, c.err
+	}
+	return r, err
+}
+
+// WaitCtx is Arrive followed by AwaitCtx.
+func (c *Client) WaitCtx(ctx context.Context) (Release, error) {
+	if err := c.Arrive(); err != nil {
+		return Release{}, err
+	}
+	return c.AwaitCtx(ctx)
+}
+
+// Leave departs the session gracefully — call it between episodes, when
+// this participant will not arrive again — and closes the connection.
+// Unlike a bare Close, the server does not treat the departure as a
+// failure; the session ends when every participant has left.
+func (c *Client) Leave() error {
+	if c.err == nil && c.joined && !c.left {
+		c.left = true
+		if err := c.write(Frame{Type: TypeLeave}); err != nil {
+			c.fail(err)
+		}
+	}
+	return c.conn.Close()
+}
+
+// Close abandons the connection without leaving. If the session is still
+// live, the server will poison it — every other participant gets a
+// "disconnected" cause instead of a hang. Use Leave for clean shutdown.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// write encodes and sends one frame with a single flush.
+func (c *Client) write(f Frame) error {
+	if err := WriteFrame(c.bw, f); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// fail records the sticky error.
+func (c *Client) fail(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return c.err
+}

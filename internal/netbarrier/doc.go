@@ -1,0 +1,31 @@
+// Package netbarrier extends the softbarrier design space across a
+// network: a barrier coordination service (Server, deployed as the
+// cmd/barrierd daemon) that clients join over TCP to synchronize named
+// episode cohorts, with the paper's machinery running server-side.
+//
+// The paper's core result — the optimal combining-tree degree grows with
+// the arrival-time spread σ — matters most in exactly this setting, where
+// arrival skew is large (network jitter stacks on load imbalance) and
+// shifts over time. Each session therefore measures the spread of its
+// remote arrivals per episode exactly as the in-process barriers do (the
+// shared internal/runtime recorder), folds it into an EWMA σ, and at
+// episode boundaries asks the planner (softbarrier.RecommendMeasured) for
+// the degree that σ justifies; when the recommendation moves, the arrival
+// tree is rebuilt at the new degree during the release — a quiescent
+// point, so the swap is a plain pointer store. With Options.Dynamic the
+// planner selects the dynamic-placement tree instead, and consistently
+// slow clients migrate toward the root between episodes.
+//
+// Failure semantics are the PR-3 poison machinery end to end. Whatever
+// kills an episode — a client disconnecting mid-session, a stall caught
+// by the WithWatchdog detector, a protocol violation, server shutdown —
+// poisons the session's tree, and the WithPoisonNotify hook broadcasts
+// the softbarrier.EncodePoisonCause wire form of the cause to every
+// member socket. Remote waiters therefore fail exactly like local ones:
+// errors.As recovers the *StallError naming who never arrived, instead of
+// the client hanging on a dead episode.
+//
+// The wire protocol is six length-prefixed binary frame types (see
+// protocol.go); release fan-out assembles each frame once and writes it
+// to each member socket in a single batched write.
+package netbarrier

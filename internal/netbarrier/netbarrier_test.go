@@ -1,0 +1,410 @@
+package netbarrier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"softbarrier"
+)
+
+// startServer runs a server on an ephemeral loopback port and returns its
+// address. The server is torn down with the test.
+func startServer(t testing.TB, opt Options) (addr string, srv *Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = NewServer(opt)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return ln.Addr().String(), srv
+}
+
+// dialJoin connects and joins, failing the test on any error.
+func dialJoin(t testing.TB, addr, session string, p, id int) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.JoinAs(session, p, id); err != nil {
+		c.Close()
+		t.Fatalf("join %s: %v", session, err)
+	}
+	return c
+}
+
+func TestSessionEpisodes(t *testing.T) {
+	addr, _ := startServer(t, Options{Watchdog: 5 * time.Second})
+	const p, episodes = 4, 25
+
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := dialJoin(t, addr, "episodes", p, i)
+			defer c.Leave()
+			if c.ID() != i {
+				errs[i] = fmt.Errorf("asked for id %d, got %d", i, c.ID())
+				return
+			}
+			for ep := 0; ep < episodes; ep++ {
+				r, err := c.Wait()
+				if err != nil {
+					errs[i] = fmt.Errorf("episode %d: %w", ep, err)
+					return
+				}
+				if r.Episode != uint64(ep) {
+					errs[i] = fmt.Errorf("episode %d released as %d", ep, r.Episode)
+					return
+				}
+				if r.Degree < 2 || r.Degree > p {
+					errs[i] = fmt.Errorf("episode %d: degree %d outside [2, %d]", ep, r.Degree, p)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+}
+
+func TestFuzzyArriveAwaitOverlap(t *testing.T) {
+	addr, _ := startServer(t, Options{})
+	const p = 3
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := dialJoin(t, addr, "fuzzy", p, -1)
+			defer c.Leave()
+			for ep := 0; ep < 10; ep++ {
+				if err := c.Arrive(); err != nil {
+					t.Errorf("client %d arrive: %v", i, err)
+					return
+				}
+				// Slack work between the phases — the fuzzy-barrier shape.
+				time.Sleep(time.Duration(i) * 100 * time.Microsecond)
+				if _, err := c.Await(); err != nil {
+					t.Errorf("client %d await: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestJoinRefusals(t *testing.T) {
+	addr, _ := startServer(t, Options{})
+	c0 := dialJoin(t, addr, "refuse", 2, 0)
+	defer c0.Close()
+
+	cases := []struct {
+		name    string
+		session string
+		p, id   int
+		want    string
+	}{
+		{"p mismatch", "refuse", 3, -1, "participants"},
+		{"id taken", "refuse", 2, 0, "already taken"},
+		{"id out of range", "refuse", 2, 7, "out of range"},
+		{"bad p", "other", 0, -1, "participant count"},
+		{"empty name", "", 2, -1, "empty session name"},
+	}
+	for _, tc := range cases {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.JoinAs(tc.session, tc.p, tc.id)
+		c.Close()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want refusal containing %q", tc.name, err, tc.want)
+		}
+	}
+
+	// The full-session refusal.
+	c1 := dialJoin(t, addr, "refuse", 2, -1)
+	defer c1.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Join("refuse", 2)
+	c.Close()
+	if err == nil || !strings.Contains(err.Error(), "full") {
+		t.Errorf("join of full session: got %v", err)
+	}
+}
+
+// TestDisconnectPoisons kills one client mid-episode and requires every
+// other member to receive a poison cause naming the disconnection —
+// promptly, not at some watchdog horizon.
+func TestDisconnectPoisons(t *testing.T) {
+	addr, _ := startServer(t, Options{Watchdog: 10 * time.Second})
+	const p = 4
+
+	clients := make([]*Client, p)
+	for i := range clients {
+		clients[i] = dialJoin(t, addr, "killed", p, i)
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	// One full episode so the session is warm.
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			if _, err := c.Wait(); err != nil {
+				t.Errorf("warmup: %v", err)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Next episode: 0..2 arrive and wait; 3 dies without arriving.
+	start := time.Now()
+	errsCh := make(chan error, p-1)
+	for _, c := range clients[:p-1] {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			_, err := c.Wait()
+			errsCh <- err
+		}(c)
+	}
+	time.Sleep(20 * time.Millisecond) // let the others' arrivals land first
+	clients[p-1].Close()
+	wg.Wait()
+	close(errsCh)
+	for err := range errsCh {
+		if err == nil {
+			t.Fatal("waiter returned success from a poisoned episode")
+		}
+		if !strings.Contains(err.Error(), "disconnected") {
+			t.Errorf("poison cause does not name the disconnect: %v", err)
+		}
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("poison took %v to reach the waiters", d)
+	}
+
+	// The poisoned session retired, so its name is immediately reusable.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Join("killed", 2); err != nil {
+		t.Errorf("rejoining a retired session name: %v", err)
+	}
+}
+
+// TestWatchdogStallDeliversStallError holds one member back without
+// killing its connection: only the stall watchdog can catch that, and the
+// StallError it poisons with must cross the wire with the missing ids
+// intact and within the watchdog deadline.
+func TestWatchdogStallDeliversStallError(t *testing.T) {
+	const watchdog = 300 * time.Millisecond
+	addr, _ := startServer(t, Options{Watchdog: watchdog})
+	const p = 4
+
+	clients := make([]*Client, p)
+	for i := range clients {
+		clients[i] = dialJoin(t, addr, "stall", p, i)
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errsCh := make(chan error, p-1)
+	for _, c := range clients[:p-1] {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			_, err := c.Wait()
+			errsCh <- err
+		}(c)
+	}
+	// Client 3 never arrives; it just sits on a healthy connection.
+	wg.Wait()
+	waited := time.Since(start)
+	close(errsCh)
+	for err := range errsCh {
+		var stall *softbarrier.StallError
+		if !errors.As(err, &stall) {
+			t.Fatalf("want *StallError across the wire, got %v", err)
+		}
+		if len(stall.Missing) != 1 || stall.Missing[0] != 3 {
+			t.Errorf("StallError.Missing = %v, want [3]", stall.Missing)
+		}
+		if stall.Waited < watchdog {
+			t.Errorf("StallError.Waited = %v, below the %v deadline", stall.Waited, watchdog)
+		}
+	}
+	// "Within the watchdog deadline": the detector needs one deadline to
+	// elapse plus its polling slop; anything near that bound is on time.
+	if waited > 4*watchdog+time.Second {
+		t.Errorf("stall delivery took %v with a %v watchdog", waited, watchdog)
+	}
+
+	// The idle-session guard: a session with no episode in flight must
+	// never be stall-poisoned, however long it idles.
+	idle := dialJoin(t, addr, "idle", 1, -1)
+	defer idle.Leave()
+	time.Sleep(3 * watchdog)
+	if _, err := idle.Wait(); err != nil {
+		t.Errorf("idle session poisoned: %v", err)
+	}
+}
+
+// TestReplanAcceptance is the tentpole acceptance run: 64 loopback
+// clients, 1000 consecutive episodes, with an arrival-jitter phase in the
+// middle that moves the measured σ enough for the planner to change the
+// tree degree mid-run. Run it with -race to check the whole stack.
+func TestReplanAcceptance(t *testing.T) {
+	const (
+		p        = 64
+		episodes = 1000
+		jitterLo = 350 // episodes [jitterLo, jitterHi) sleep before arriving
+		jitterHi = 500
+	)
+	addr, srv := startServer(t, Options{
+		Watchdog:     10 * time.Second,
+		ReplanEvery:  4,
+		InitialSigma: 0,
+	})
+	_ = srv
+
+	type result struct {
+		degrees []int // degree sequence as seen in Release frames
+		err     error
+	}
+	results := make([]result, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := &results[i]
+			c, err := Dial(addr)
+			if err != nil {
+				res.err = err
+				return
+			}
+			if err := c.JoinAs("acceptance", p, i); err != nil {
+				res.err = err
+				c.Close()
+				return
+			}
+			defer c.Leave()
+			rng := rand.New(rand.NewSource(int64(i) * 7919))
+			last := -1
+			for ep := 0; ep < episodes; ep++ {
+				if ep >= jitterLo && ep < jitterHi {
+					// Load imbalance: spread arrivals over ~2ms. σ of
+					// U(0, 2ms) ≈ 580µs, which the model answers with a
+					// much wider tree than the near-simultaneous phases.
+					time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+				}
+				r, err := c.Wait()
+				if err != nil {
+					res.err = fmt.Errorf("episode %d: %w", ep, err)
+					return
+				}
+				if r.Episode != uint64(ep) {
+					res.err = fmt.Errorf("episode %d released as %d", ep, r.Episode)
+					return
+				}
+				if r.Degree != last {
+					res.degrees = append(res.degrees, r.Degree)
+					last = r.Degree
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range results {
+		if results[i].err != nil {
+			t.Fatalf("client %d: %v", i, results[i].err)
+		}
+	}
+	// Every client saw the same ordered degree history (frames are a total
+	// order per session), and it changed at least once mid-run.
+	degrees := results[0].degrees
+	t.Logf("degree history over %d episodes: %v", episodes, degrees)
+	for i := 1; i < p; i++ {
+		if fmt.Sprint(results[i].degrees) != fmt.Sprint(degrees) {
+			t.Fatalf("client %d saw degree history %v, client 0 saw %v", i, results[i].degrees, degrees)
+		}
+	}
+	if len(degrees) < 2 {
+		t.Fatalf("no mid-run degree re-plan: degree history %v", degrees)
+	}
+}
+
+// TestAwaitCtxCancel checks the client-side cancellation path: the
+// abandoned wait reports the context error and the connection teardown
+// poisons the session for everyone else.
+func TestAwaitCtxCancel(t *testing.T) {
+	addr, _ := startServer(t, Options{})
+	const p = 2
+	c0 := dialJoin(t, addr, "cancel", p, 0)
+	defer c0.Close()
+	c1 := dialJoin(t, addr, "cancel", p, 1)
+	defer c1.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c0.WaitCtx(ctx)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled wait returned %v", err)
+	}
+	// The cancelled client abandons the session entirely. c0's Arrive was
+	// already in, so the in-flight episode may legitimately complete for
+	// c1 — but after the disconnect no further episode can.
+	c0.Close()
+	if _, err := c1.Wait(); err == nil {
+		if _, err := c1.Wait(); err == nil {
+			t.Fatal("peer of a departed participant completed an episode without it")
+		}
+	}
+}

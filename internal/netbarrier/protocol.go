@@ -1,0 +1,253 @@
+package netbarrier
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// floatBits / bitsFloat move float64 fields on and off the wire as raw
+// IEEE-754 bits, so any value — including NaN payloads — survives a
+// round trip bit for bit.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// The wire protocol is a stream of length-prefixed binary frames:
+//
+//	frame   := length(uint32, big-endian, of body) body
+//	body    := type(1 byte) payload
+//
+// Six frame types cover the whole lifecycle. A client joins a named
+// session (JoinReq/JoinResp), then alternates Arrive (client → server)
+// with Release (server → client) once per episode, and finally departs
+// with Leave. Poison (server → client) replaces Release when the episode
+// is aborted; its payload is the softbarrier wire-encoded cause, so the
+// remote waiter gets the same *StallError / sentinel error a local waiter
+// would. All integers are big-endian; floats travel as IEEE-754 bits.
+const (
+	// TypeJoinReq (client → server) opens a session membership:
+	// nameLen(uint16) name p(uint32) id(int32; -1 = server assigns).
+	TypeJoinReq = byte(1)
+	// TypeJoinResp (server → client) answers a join:
+	// id(uint32) p(uint32) degree(uint32) episode(uint64)
+	// errLen(uint16) err. A non-empty err refuses the join; the other
+	// fields are then meaningless.
+	TypeJoinResp = byte(2)
+	// TypeArrive (client → server) announces arrival at an episode:
+	// episode(uint64). The episode must be the session's current one.
+	TypeArrive = byte(3)
+	// TypeRelease (server → client) completes an episode:
+	// episode(uint64) degree(uint32) spreadBits(uint64) sigmaBits(uint64).
+	// degree is the tree degree the *next* episode will run at (it changes
+	// when the planner re-plans), spread the episode's measured arrival
+	// spread in seconds, sigma the session's EWMA σ estimate.
+	TypeRelease = byte(4)
+	// TypePoison (server → client) aborts the session:
+	// causeLen(uint16) cause, where cause is the
+	// softbarrier.EncodePoisonCause encoding of the poison error.
+	TypePoison = byte(5)
+	// TypeLeave (client → server) departs gracefully after a release;
+	// empty payload. A connection that drops without Leave poisons the
+	// session.
+	TypeLeave = byte(6)
+)
+
+const (
+	// MaxName bounds the session-name length in a JoinReq.
+	MaxName = 255
+	// MaxFrame bounds a frame body; larger length prefixes are rejected
+	// before any allocation, so a corrupt peer cannot balloon memory.
+	MaxFrame = 1 << 17
+	// lenSize is the length-prefix size.
+	lenSize = 4
+)
+
+// Frame is the decoded form of any protocol frame: Type selects which
+// fields are meaningful (see the Type constants).
+type Frame struct {
+	Type    byte
+	Name    string  // JoinReq: session name
+	P       int     // JoinReq, JoinResp: participant count
+	ID      int     // JoinReq: requested id (-1 = any); JoinResp: assigned id
+	Degree  int     // JoinResp, Release: current tree degree
+	Episode uint64  // JoinResp, Arrive, Release: episode index
+	Spread  float64 // Release: measured arrival spread, seconds
+	Sigma   float64 // Release: EWMA σ estimate, seconds
+	Err     string  // JoinResp: refusal reason ("" = accepted)
+	Cause   []byte  // Poison: wire-encoded poison cause
+}
+
+// AppendFrame appends f's complete wire form — length prefix included —
+// to dst and returns the result. It errors on unencodable frames
+// (unknown type, oversized name/error/cause) rather than emitting a
+// frame the decoder would reject.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length back-patched below
+	dst = append(dst, f.Type)
+	switch f.Type {
+	case TypeJoinReq:
+		if len(f.Name) > MaxName {
+			return nil, fmt.Errorf("netbarrier: session name %d bytes exceeds %d", len(f.Name), MaxName)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Name)))
+		dst = append(dst, f.Name...)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.P))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(f.ID)))
+	case TypeJoinResp:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.ID))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.P))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.Degree))
+		dst = binary.BigEndian.AppendUint64(dst, f.Episode)
+		if len(f.Err) > 0xffff {
+			return nil, fmt.Errorf("netbarrier: join error %d bytes exceeds %d", len(f.Err), 0xffff)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Err)))
+		dst = append(dst, f.Err...)
+	case TypeArrive:
+		dst = binary.BigEndian.AppendUint64(dst, f.Episode)
+	case TypeRelease:
+		dst = binary.BigEndian.AppendUint64(dst, f.Episode)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.Degree))
+		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Spread))
+		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Sigma))
+	case TypePoison:
+		if len(f.Cause) > 0xffff {
+			return nil, fmt.Errorf("netbarrier: poison cause %d bytes exceeds %d", len(f.Cause), 0xffff)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Cause)))
+		dst = append(dst, f.Cause...)
+	case TypeLeave:
+		// empty payload
+	default:
+		return nil, fmt.Errorf("netbarrier: cannot encode frame type %d", f.Type)
+	}
+	body := len(dst) - start - lenSize
+	if body > MaxFrame {
+		return nil, fmt.Errorf("netbarrier: frame body %d bytes exceeds %d", body, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(body))
+	return dst, nil
+}
+
+// DecodeFrame decodes one frame body (the bytes after the length prefix).
+// Every length field is validated against the actual payload, and frames
+// with trailing garbage are rejected, so a frame that decodes is exactly
+// a frame AppendFrame could have produced.
+func DecodeFrame(body []byte) (Frame, error) {
+	if len(body) == 0 {
+		return Frame{}, fmt.Errorf("netbarrier: empty frame body")
+	}
+	if len(body) > MaxFrame {
+		return Frame{}, fmt.Errorf("netbarrier: frame body %d bytes exceeds %d", len(body), MaxFrame)
+	}
+	f := Frame{Type: body[0]}
+	b := body[1:]
+	switch f.Type {
+	case TypeJoinReq:
+		n, rest, err := lengthPrefixed(b, "session name", MaxName)
+		if err != nil {
+			return Frame{}, err
+		}
+		if len(rest) != 8 {
+			return Frame{}, fmt.Errorf("netbarrier: join request wants 8 trailing bytes, has %d", len(rest))
+		}
+		f.Name = string(n)
+		f.P = int(binary.BigEndian.Uint32(rest))
+		f.ID = int(int32(binary.BigEndian.Uint32(rest[4:])))
+	case TypeJoinResp:
+		if len(b) < 22 {
+			return Frame{}, fmt.Errorf("netbarrier: join response wants ≥ 22 bytes, has %d", len(b))
+		}
+		f.ID = int(binary.BigEndian.Uint32(b))
+		f.P = int(binary.BigEndian.Uint32(b[4:]))
+		f.Degree = int(binary.BigEndian.Uint32(b[8:]))
+		f.Episode = binary.BigEndian.Uint64(b[12:])
+		e, rest, err := lengthPrefixed(b[20:], "join error", 0xffff)
+		if err != nil {
+			return Frame{}, err
+		}
+		if len(rest) != 0 {
+			return Frame{}, fmt.Errorf("netbarrier: %d trailing bytes after join response", len(rest))
+		}
+		f.Err = string(e)
+	case TypeArrive:
+		if len(b) != 8 {
+			return Frame{}, fmt.Errorf("netbarrier: arrive wants 8 bytes, has %d", len(b))
+		}
+		f.Episode = binary.BigEndian.Uint64(b)
+	case TypeRelease:
+		if len(b) != 28 {
+			return Frame{}, fmt.Errorf("netbarrier: release wants 28 bytes, has %d", len(b))
+		}
+		f.Episode = binary.BigEndian.Uint64(b)
+		f.Degree = int(binary.BigEndian.Uint32(b[8:]))
+		f.Spread = bitsFloat(binary.BigEndian.Uint64(b[12:]))
+		f.Sigma = bitsFloat(binary.BigEndian.Uint64(b[20:]))
+	case TypePoison:
+		c, rest, err := lengthPrefixed(b, "poison cause", 0xffff)
+		if err != nil {
+			return Frame{}, err
+		}
+		if len(rest) != 0 {
+			return Frame{}, fmt.Errorf("netbarrier: %d trailing bytes after poison", len(rest))
+		}
+		f.Cause = c
+	case TypeLeave:
+		if len(b) != 0 {
+			return Frame{}, fmt.Errorf("netbarrier: leave wants no payload, has %d bytes", len(b))
+		}
+	default:
+		return Frame{}, fmt.Errorf("netbarrier: unknown frame type %d", f.Type)
+	}
+	return f, nil
+}
+
+// lengthPrefixed splits a uint16-length-prefixed field off b, enforcing
+// the field-specific maximum.
+func lengthPrefixed(b []byte, what string, max int) (field, rest []byte, err error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("netbarrier: truncated %s length", what)
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if n > max {
+		return nil, nil, fmt.Errorf("netbarrier: %s %d bytes exceeds %d", what, n, max)
+	}
+	if len(b)-2 < n {
+		return nil, nil, fmt.Errorf("netbarrier: truncated %s (%d of %d bytes)", what, len(b)-2, n)
+	}
+	return b[2 : 2+n], b[2+n:], nil
+}
+
+// ReadFrame reads and decodes one frame from r, enforcing MaxFrame before
+// allocating the body.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [lenSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return Frame{}, fmt.Errorf("netbarrier: frame length %d outside (0, %d]", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return DecodeFrame(body)
+}
+
+// WriteFrame encodes f and writes it to w in one Write call, so a
+// buffered writer coalesces it into the socket's pending batch.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,0 +1,162 @@
+package netbarrier
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// sampleFrames covers every frame type with representative field values,
+// including edge cases (empty strings, negative ids, NaN floats).
+func sampleFrames() []Frame {
+	return []Frame{
+		{Type: TypeJoinReq, Name: "sor-sweep", P: 64, ID: -1},
+		{Type: TypeJoinReq, Name: "x", P: 1, ID: 0},
+		{Type: TypeJoinResp, ID: 7, P: 64, Degree: 4, Episode: 12},
+		{Type: TypeJoinResp, Err: "session is full"},
+		{Type: TypeArrive, Episode: 0},
+		{Type: TypeArrive, Episode: 1<<63 - 1},
+		{Type: TypeRelease, Episode: 999, Degree: 64, Spread: 3.25e-4, Sigma: 2.5e-4},
+		{Type: TypeRelease, Episode: 0, Degree: 2, Spread: math.NaN(), Sigma: math.Inf(1)},
+		{Type: TypePoison, Cause: []byte{0x01}},
+		{Type: TypePoison, Cause: []byte{}},
+		{Type: TypeLeave},
+	}
+}
+
+// framesEqual compares frames treating float fields by bit pattern (NaN ==
+// NaN on the wire) and nil/empty byte slices as equal.
+func framesEqual(a, b Frame) bool {
+	if a.Type != b.Type || a.Name != b.Name || a.P != b.P || a.ID != b.ID ||
+		a.Degree != b.Degree || a.Episode != b.Episode || a.Err != b.Err {
+		return false
+	}
+	if math.Float64bits(a.Spread) != math.Float64bits(b.Spread) ||
+		math.Float64bits(a.Sigma) != math.Float64bits(b.Sigma) {
+		return false
+	}
+	return bytes.Equal(a.Cause, b.Cause)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		buf, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", f, err)
+		}
+		got, err := ReadFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("read back %+v: %v", f, err)
+		}
+		want := f
+		if want.Cause != nil && len(want.Cause) == 0 {
+			want.Cause = nil // empty and absent cause are the same frame
+		}
+		if got.Cause != nil && len(got.Cause) == 0 {
+			got.Cause = nil
+		}
+		if !framesEqual(got, want) {
+			t.Errorf("round trip changed frame:\n  sent %+v\n  got  %+v", f, got)
+		}
+	}
+}
+
+func TestWriteFrameMatchesAppendFrame(t *testing.T) {
+	for _, f := range sampleFrames() {
+		want, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("WriteFrame and AppendFrame disagree for type %d", f.Type)
+		}
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	cases := map[string][]byte{
+		"empty body":             {},
+		"unknown type":           {42},
+		"truncated join name":    {TypeJoinReq, 0},
+		"join name overruns":     {TypeJoinReq, 0, 5, 'a', 'b'},
+		"join missing p/id":      {TypeJoinReq, 0, 1, 'a', 0, 0},
+		"join trailing garbage":  {TypeJoinReq, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff, 9},
+		"arrive short":           {TypeArrive, 1, 2, 3},
+		"arrive long":            {TypeArrive, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		"release short":          {TypeRelease, 0},
+		"leave with payload":     {TypeLeave, 1},
+		"poison truncated cause": {TypePoison, 0, 9, 1},
+		"joinresp short":         {TypeJoinResp, 0, 0, 0, 1},
+	}
+	for name, body := range cases {
+		if _, err := DecodeFrame(body); err == nil {
+			t.Errorf("%s: decode accepted %v", name, body)
+		}
+	}
+}
+
+func TestReadFrameBoundsLength(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil || !strings.Contains(err.Error(), "frame length") {
+		t.Fatalf("oversized length prefix not rejected: %v", err)
+	}
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("zero length prefix not rejected")
+	}
+}
+
+// FuzzDecodeFrame asserts the decoder is total (no panics, no
+// out-of-bounds) and canonical: any body that decodes re-encodes to a
+// frame that decodes to the same value.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		buf, err := AppendFrame(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[lenSize:]) // seed with the body, which is what DecodeFrame sees
+	}
+	f.Add([]byte{})
+	f.Add([]byte{TypeJoinReq, 0xff, 0xff})
+	f.Add([]byte{TypePoison, 0, 3, 2, 0, 1})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fr, err := DecodeFrame(body)
+		if err != nil {
+			return
+		}
+		buf, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("decoded frame %+v does not re-encode: %v", fr, err)
+		}
+		again, err := DecodeFrame(buf[lenSize:])
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if !framesEqual(fr, again) {
+			t.Fatalf("decode/encode/decode not stable:\n  first  %+v\n  second %+v", fr, again)
+		}
+	})
+}
+
+// TestFrameEncodeRejectsOversize pins the encoder-side limits the decoder
+// enforces, so an unencodable frame can never be produced in the first
+// place.
+func TestFrameEncodeRejectsOversize(t *testing.T) {
+	if _, err := AppendFrame(nil, Frame{Type: TypeJoinReq, Name: strings.Repeat("n", MaxName+1)}); err == nil {
+		t.Error("oversized session name encoded")
+	}
+	if _, err := AppendFrame(nil, Frame{Type: TypePoison, Cause: make([]byte, 1<<16)}); err == nil {
+		t.Error("oversized poison cause encoded")
+	}
+	if _, err := AppendFrame(nil, Frame{Type: 99}); err == nil {
+		t.Error("unknown frame type encoded")
+	}
+}

@@ -1,0 +1,327 @@
+package netbarrier
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrServerClosed is the poison cause members receive when the server is
+// shut down under them.
+var ErrServerClosed = errors.New("netbarrier: server closed")
+
+// Options configures a Server. The zero value serves plain static-degree
+// sessions with no watchdog.
+type Options struct {
+	// Watchdog is the per-session stall deadline: an episode in which some
+	// members arrived and then nothing moved for Watchdog is poisoned with
+	// a StallError naming the absent ids (softbarrier.WithWatchdog
+	// semantics, fed by remote arrivals). 0 disables stall detection —
+	// a vanished client is then only caught by its connection dropping.
+	Watchdog time.Duration
+	// ReplanEvery is how many episodes pass between planner re-evaluations
+	// of the tree degree; 0 means every episode. Re-planning is cheap (a
+	// model evaluation) and only rebuilds the tree when the recommended
+	// degree actually changes.
+	ReplanEvery int
+	// Dynamic marks session load imbalance as systemic, which makes the
+	// planner select the dynamic-placement barrier: consistently slow
+	// clients migrate toward the tree root between episodes.
+	Dynamic bool
+	// Tc is the counter-update cost fed to the analytic model, seconds;
+	// 0 selects the paper's 20µs.
+	Tc float64
+	// InitialSigma is the arrival spread assumed before any episode has
+	// been measured, seconds. After the first episode the measured EWMA σ
+	// takes over.
+	InitialSigma float64
+	// WriteTimeout bounds each member-socket write during fan-out;
+	// 0 selects 10s. A member that cannot be written within it is treated
+	// as failed and the session is poisoned.
+	WriteTimeout time.Duration
+	// JoinTimeout bounds how long a fresh connection may take to present
+	// its JoinReq; 0 selects 10s.
+	JoinTimeout time.Duration
+	// MaxP caps the participant count a JoinReq may open a session with;
+	// 0 selects 4096.
+	MaxP int
+	// Logf, when non-nil, receives one line per session lifecycle event
+	// (join, re-plan, poison, retire).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) writeTimeout() time.Duration {
+	if o.WriteTimeout > 0 {
+		return o.WriteTimeout
+	}
+	return 10 * time.Second
+}
+
+func (o *Options) joinTimeout() time.Duration {
+	if o.JoinTimeout > 0 {
+		return o.JoinTimeout
+	}
+	return 10 * time.Second
+}
+
+func (o *Options) maxP() int {
+	if o.MaxP > 0 {
+		return o.MaxP
+	}
+	return 4096
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Server is the barrier coordination service: it accepts TCP connections,
+// groups them into named sessions, and runs each session's combining tree
+// and planner loop. One Server hosts any number of concurrent sessions.
+type Server struct {
+	opt Options
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	conns    map[net.Conn]struct{}
+	ln       net.Listener
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer returns a server with the given options.
+func NewServer(opt Options) *Server {
+	return &Server{
+		opt:      opt,
+		sessions: make(map[string]*session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Close (or a fatal accept error)
+// and blocks for the duration.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Addr returns the listen address once Serve has bound a listener, and
+// "" before that. It lets a caller that started Serve on ":0" in a
+// goroutine discover the ephemeral port.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down: the listener stops accepting, every live
+// session is poisoned with ErrServerClosed (members receive the
+// wire-encoded cause), and all connections are closed. It blocks until
+// every connection handler has returned.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.poison(ErrServerClosed)
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// retire removes a finished (poisoned or fully departed) session so its
+// name becomes reusable.
+func (s *Server) retire(sess *session) {
+	s.mu.Lock()
+	if cur, ok := s.sessions[sess.name]; ok && cur == sess {
+		delete(s.sessions, sess.name)
+	}
+	s.mu.Unlock()
+	s.opt.logf("session %s: retired after %d episodes (%d re-plans)",
+		sess.name, sess.episode.Load(), sess.replans.Load())
+}
+
+// srvConn is the server side of one member connection. The reader
+// goroutine owns nextArrive; id is fixed at join; gone/leftOK are guarded
+// by the session mutex; writes go through send, which batches each frame
+// into a single socket write under wmu.
+type srvConn struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	wmu  sync.Mutex
+
+	id         int
+	nextArrive uint64
+	gone       bool // no longer a broadcast target
+	leftOK     bool // departed via Leave; disconnection is not a failure
+}
+
+// send writes one pre-encoded frame with a single flush — the per-socket
+// batched write of the release fan-out path.
+func (c *srvConn) send(buf []byte, timeout time.Duration) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := c.bw.Write(buf); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// handle runs one connection: join handshake, then the arrive/leave
+// read loop.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // arrive/release frames are latency-bound, not throughput-bound
+	}
+	c := &srvConn{conn: conn, bw: bufio.NewWriter(conn)}
+	br := bufio.NewReader(conn)
+
+	conn.SetReadDeadline(time.Now().Add(s.opt.joinTimeout()))
+	req, err := ReadFrame(br)
+	if err != nil || req.Type != TypeJoinReq {
+		return // never joined; nothing to poison
+	}
+	sess, resp := s.join(c, req)
+	buf, encErr := AppendFrame(nil, resp)
+	if encErr != nil || c.send(buf, s.opt.writeTimeout()) != nil || sess == nil {
+		if sess != nil {
+			sess.disconnect(c, fmt.Errorf("join response write failed"))
+		}
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	s.opt.logf("session %s: client %d joined (%s)", sess.name, c.id, conn.RemoteAddr())
+
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			sess.disconnect(c, err)
+			return
+		}
+		switch f.Type {
+		case TypeArrive:
+			sess.arrive(c, f.Episode)
+		case TypeLeave:
+			sess.leave(c)
+			return
+		default:
+			sess.poison(fmt.Errorf("netbarrier: protocol violation: client %d sent frame type %d", c.id, f.Type))
+			return
+		}
+	}
+}
+
+// join resolves a JoinReq against the session table, creating the session
+// on first contact. It returns the session (nil on refusal) and the
+// JoinResp to send either way.
+func (s *Server) join(c *srvConn, req Frame) (*session, Frame) {
+	refuse := func(msg string) (*session, Frame) {
+		return nil, Frame{Type: TypeJoinResp, Err: msg}
+	}
+	if req.Name == "" {
+		return refuse("empty session name")
+	}
+	if req.P < 1 || req.P > s.opt.maxP() {
+		return refuse(fmt.Sprintf("participant count %d outside [1, %d]", req.P, s.opt.maxP()))
+	}
+	if req.ID >= req.P {
+		// Checked before the session table so a doomed join can never be
+		// the one that instantiates a session.
+		return refuse(fmt.Sprintf("id %d out of range for %d participants", req.ID, req.P))
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return refuse("server closed")
+	}
+	sess := s.sessions[req.Name]
+	if sess == nil {
+		sess = newSession(s, req.Name, req.P)
+		s.sessions[req.Name] = sess
+	}
+	s.mu.Unlock()
+
+	id, refusal := sess.join(c, req.P, req.ID)
+	if refusal != "" {
+		return refuse(refusal)
+	}
+	return sess, Frame{
+		Type:    TypeJoinResp,
+		ID:      id,
+		P:       sess.p,
+		Degree:  sess.degree(),
+		Episode: sess.episode.Load(),
+	}
+}

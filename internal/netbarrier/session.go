@@ -1,0 +1,284 @@
+package netbarrier
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"softbarrier"
+)
+
+// arrivalTree is the server-side arrival structure: the subset of the
+// softbarrier tree barriers a session drives. Sessions only ever call
+// Arrive — remote clients wait on their sockets, not on the in-process
+// gate — so the release path degenerates to the Observer callback, which
+// fires at the episode's quiescent point, before any in-process release.
+type arrivalTree interface {
+	Arrive(id int)
+	Poison(err error)
+	Err() error
+	Close()
+	Degree() int
+	Arrivals() []uint64
+}
+
+// coreBox wraps the interface so the current core can live in an
+// atomic.Pointer (which needs a concrete element type).
+type coreBox struct{ b arrivalTree }
+
+// observerFunc adapts a function to softbarrier.Observer.
+type observerFunc func(softbarrier.EpisodeStats)
+
+func (f observerFunc) Episode(st softbarrier.EpisodeStats) { f(st) }
+
+// session is one named barrier cohort: p members, an in-process combining
+// tree collecting their arrivals, and the planner loop that re-derives the
+// tree degree from the measured arrival spread.
+//
+// Concurrency design. Each member's socket is read by its own goroutine,
+// which calls core.Arrive directly — so the degree-d combining tree is
+// doing real work: at most degree+1 reader goroutines contend on any one
+// counter, exactly as in the in-process case. The member whose arrival
+// completes the root runs the Observer callback at the episode's
+// quiescent point: every arrival of the episode is in, and no client can
+// send its next Arrive until the Release frame this callback is about to
+// write reaches it. That quiescence is what makes the degree re-plan a
+// plain pointer swap: the callback builds a fresh tree at the new degree,
+// stores it, and only then broadcasts the release, so every subsequent
+// arrival lands in the new tree.
+type session struct {
+	name string
+	p    int
+	srv  *Server
+
+	profile     softbarrier.Profile
+	agg         *softbarrier.Aggregate // Observer + SigmaSource: the measured-σ feedback loop
+	replanEvery uint64
+
+	core    atomic.Pointer[coreBox]
+	episode atomic.Uint64 // current episode index; advanced by the releaser
+	replans atomic.Uint64 // completed degree re-plans
+	dead    atomic.Bool   // poison broadcast already sent
+
+	mu      sync.Mutex
+	members []*srvConn // slot per id; nil = not joined
+	joined  int
+	left    int
+	retired bool
+}
+
+func newSession(srv *Server, name string, p int) *session {
+	s := &session{
+		name:        name,
+		p:           p,
+		srv:         srv,
+		agg:         softbarrier.NewAggregate(),
+		replanEvery: uint64(srv.opt.ReplanEvery),
+		members:     make([]*srvConn, p),
+		profile: softbarrier.Profile{
+			P:        p,
+			Sigma:    srv.opt.InitialSigma,
+			Tc:       srv.opt.Tc,
+			Systemic: srv.opt.Dynamic,
+		},
+	}
+	if s.replanEvery == 0 {
+		s.replanEvery = 1
+	}
+	rec := softbarrier.Recommend(s.profile)
+	s.core.Store(&coreBox{s.buildCore(rec)})
+	return s
+}
+
+// buildCore constructs the arrival tree a recommendation describes. With
+// the server's Dynamic option the profile is systemic, so the planner
+// selects the dynamic-placement barrier and consistently slow clients
+// migrate toward the root — placement knowledge is discarded on re-plan,
+// which the paper's own adaptation proposal accepts (rebuilds are rare
+// once σ converges).
+func (s *session) buildCore(rec softbarrier.Recommendation) arrivalTree {
+	opts := []softbarrier.Option{
+		softbarrier.WithObserver(observerFunc(s.onEpisode)),
+		softbarrier.WithPoisonNotify(s.onPoison),
+	}
+	if d := s.srv.opt.Watchdog; d > 0 {
+		opts = append(opts, softbarrier.WithWatchdog(d))
+	}
+	if rec.Dynamic {
+		return softbarrier.NewDynamic(s.p, rec.Degree, opts...)
+	}
+	return softbarrier.NewCombiningTree(s.p, rec.Degree, opts...)
+}
+
+// degree returns the current tree degree.
+func (s *session) degree() int { return s.core.Load().b.Degree() }
+
+// arrive validates and applies one member's Arrive frame. It runs on the
+// member's reader goroutine; the frame's episode must be the session's
+// current one (a client cannot legally race ahead — it has not seen the
+// release that would let it — so a mismatch is a protocol violation, and
+// a duplicate arrival would corrupt the tree's counters).
+func (s *session) arrive(c *srvConn, episode uint64) {
+	if cur := s.episode.Load(); episode != cur || episode < c.nextArrive {
+		s.poison(fmt.Errorf("netbarrier: protocol violation: client %d arrived for episode %d (current %d)", c.id, episode, cur))
+		return
+	}
+	c.nextArrive = episode + 1
+	s.core.Load().b.Arrive(c.id)
+}
+
+// onEpisode is the Observer callback: it runs on the reader goroutine
+// whose arrival completed the root, at the episode's quiescent point. It
+// folds the measured spread into the session's σ estimate, re-plans the
+// tree degree when the planner's recommendation moved, advances the
+// episode, and fans the Release frame out to every member socket.
+func (s *session) onEpisode(st softbarrier.EpisodeStats) {
+	s.agg.Episode(st)
+	ep := s.episode.Load()
+	box := s.core.Load()
+	deg := box.b.Degree()
+	if _, n := s.agg.MeasuredSigma(); n%s.replanEvery == 0 && !s.dead.Load() {
+		rec := softbarrier.RecommendMeasured(s.profile, s.agg)
+		if rec.Degree != deg {
+			s.core.Store(&coreBox{s.buildCore(rec)})
+			box.b.Close() // retire the old tree's watchdog
+			s.replans.Add(1)
+			deg = rec.Degree
+			s.srv.opt.logf("session %s: episode %d re-planned degree %d -> %d (measured sigma %.3gs)",
+				s.name, ep, box.b.Degree(), deg, mustSigma(s.agg))
+		}
+	}
+	// Advance the episode before the first Release byte leaves: a client's
+	// next Arrive frame is ordered after its Release, so every validation
+	// against the episode counter sees the new value.
+	s.episode.Store(ep + 1)
+	if s.dead.Load() {
+		return // poison raced in mid-episode; members already have the cause
+	}
+	sigma, _ := s.agg.MeasuredSigma()
+	s.broadcast(Frame{Type: TypeRelease, Episode: ep, Degree: deg, Spread: st.Spread, Sigma: sigma}, true)
+}
+
+// onPoison is the WithPoisonNotify hook: whatever poisoned the tree —
+// watchdog stall, client disconnect, protocol violation, server shutdown —
+// lands here exactly once, and every member socket receives the
+// wire-encoded cause instead of a Release. The session is retired so its
+// name becomes reusable.
+func (s *session) onPoison(err error) {
+	if !s.dead.CompareAndSwap(false, true) {
+		return
+	}
+	s.srv.opt.logf("session %s: poisoned: %v (arrivals %v)", s.name, err, s.core.Load().b.Arrivals())
+	s.broadcast(Frame{Type: TypePoison, Cause: softbarrier.EncodePoisonCause(nil, err)}, false)
+	s.core.Load().b.Close()
+	s.srv.retire(s)
+}
+
+// poison fails the session with the given cause. The notify hook on the
+// current core performs the broadcast.
+func (s *session) poison(err error) { s.core.Load().b.Poison(err) }
+
+// broadcast encodes f once and writes it to every joined member, one
+// batched (single-flush) write per socket. A member we cannot write to
+// within the server's write timeout will never arrive again, so a failed
+// release write poisons the session; failed poison writes are ignored —
+// that member is already gone.
+func (s *session) broadcast(f Frame, poisonOnError bool) {
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		s.poison(fmt.Errorf("netbarrier: internal: unencodable frame: %w", err))
+		return
+	}
+	s.mu.Lock()
+	members := make([]*srvConn, 0, s.joined)
+	for _, m := range s.members {
+		if m != nil && !m.gone {
+			members = append(members, m)
+		}
+	}
+	s.mu.Unlock()
+	for _, m := range members {
+		if err := m.send(buf, s.srv.opt.writeTimeout()); err != nil && poisonOnError {
+			s.poison(fmt.Errorf("netbarrier: client %d unreachable: %w", m.id, err))
+			return
+		}
+	}
+}
+
+// join claims a member slot. want ≥ 0 requests a specific id; -1 takes
+// the first free slot. It returns the assigned id or a refusal message.
+func (s *session) join(c *srvConn, p, want int) (id int, refusal string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.retired || s.dead.Load():
+		return 0, "session is shutting down"
+	case p != s.p:
+		return 0, fmt.Sprintf("session has %d participants, not %d", s.p, p)
+	case want >= s.p:
+		return 0, fmt.Sprintf("id %d out of range for %d participants", want, s.p)
+	case want >= 0:
+		if s.members[want] != nil {
+			return 0, fmt.Sprintf("id %d already taken", want)
+		}
+		id = want
+	default:
+		id = -1
+		for i, m := range s.members {
+			if m == nil {
+				id = i
+				break
+			}
+		}
+		if id < 0 {
+			return 0, "session is full"
+		}
+	}
+	c.id = id
+	s.members[id] = c
+	s.joined++
+	return id, ""
+}
+
+// leave processes a graceful departure: the member will not arrive again,
+// and its connection closing is no longer a failure. When every joined
+// member has left, the session retires. A member that leaves while others
+// keep arriving causes a stall, which the watchdog converts into a
+// StallError naming it — departure is cooperative, not transparent.
+func (s *session) leave(c *srvConn) {
+	s.mu.Lock()
+	c.gone = true
+	c.leftOK = true
+	s.left++
+	done := s.left == s.joined && s.joined > 0
+	if done {
+		s.retired = true
+	}
+	s.mu.Unlock()
+	if done {
+		s.core.Load().b.Close()
+		s.srv.retire(s)
+	}
+}
+
+// disconnect processes a member's reader terminating with err. A member
+// that already left (or a session already dead) just cleans up; anything
+// else poisons the session — the member cannot arrive anymore, and
+// poisoning is how every other member learns that before the watchdog
+// deadline, let alone forever.
+func (s *session) disconnect(c *srvConn, err error) {
+	s.mu.Lock()
+	wasGone := c.gone || c.leftOK
+	c.gone = true
+	s.mu.Unlock()
+	if wasGone || s.dead.Load() {
+		return
+	}
+	s.poison(fmt.Errorf("netbarrier: client %d disconnected mid-session: %w", c.id, err))
+}
+
+// mustSigma returns the aggregate's σ for log lines.
+func mustSigma(src softbarrier.SigmaSource) float64 {
+	sigma, _ := src.MeasuredSigma()
+	return sigma
+}

@@ -1,0 +1,94 @@
+package runtime
+
+// Arrivals is a set of per-participant arrival counters, one cache-padded
+// atomic slot per participant. It is the shared substrate of the package's
+// stall detection: each participant (or, for a networked barrier, the
+// goroutine reading that participant's socket) bumps its own slot with
+// Note, and a monitor goroutine — the WithWatchdog poller, or a remote
+// coordinator reporting per-client progress — reads across all slots with
+// Snapshot/Scan. The counters are exported so that remote barrier servers
+// can surface "who has arrived how often" without reaching into a
+// barrier's internals.
+type Arrivals struct {
+	slots []PaddedAtomicUint64
+}
+
+// NewArrivals returns counters for p participants, all zero.
+func NewArrivals(p int) *Arrivals {
+	return &Arrivals{slots: make([]PaddedAtomicUint64, p)}
+}
+
+// Len returns the number of participants.
+func (a *Arrivals) Len() int { return len(a.slots) }
+
+// Note records one arrival of participant id. Each id's slot is written by
+// its owner only; Note is safe against concurrent readers.
+func (a *Arrivals) Note(id int) { a.slots[id].V.Add(1) }
+
+// Count returns participant id's arrival count.
+func (a *Arrivals) Count(id int) uint64 { return a.slots[id].V.Load() }
+
+// Snapshot copies the current counts into dst, which is grown as needed,
+// and returns it. Pass a reused buffer to avoid per-call allocation.
+func (a *Arrivals) Snapshot(dst []uint64) []uint64 {
+	if cap(dst) < len(a.slots) {
+		dst = make([]uint64, len(a.slots))
+	}
+	dst = dst[:len(a.slots)]
+	for i := range a.slots {
+		dst[i] = a.slots[i].V.Load()
+	}
+	return dst
+}
+
+// Scan snapshots the counters into prev (overwriting it) and classifies
+// the step since prev's previous contents: changed reports whether any
+// counter moved, equal whether all counters now agree. A watchdog treats
+// "changed" as progress and "equal" as quiescence between episodes; a scan
+// that is neither — frozen while unequal — is a stalled episode. prev must
+// have length Len.
+func (a *Arrivals) Scan(prev []uint64) (changed, equal bool) {
+	equal = true
+	hi, lo := uint64(0), ^uint64(0)
+	for i := range a.slots {
+		v := a.slots[i].V.Load()
+		if v != prev[i] {
+			changed = true
+		}
+		prev[i] = v
+		if v > hi {
+			hi = v
+		}
+		if v < lo {
+			lo = v
+		}
+	}
+	equal = hi == lo
+	return changed, equal
+}
+
+// Reset zeroes every counter. Only meaningful at a quiescent point.
+func (a *Arrivals) Reset() {
+	for i := range a.slots {
+		a.slots[i].V.Store(0)
+	}
+}
+
+// Missing returns, in ascending order, the participant ids whose count in
+// counts is strictly below the maximum — the participants that had not
+// arrived at the episode the snapshot caught in flight.
+func Missing(counts []uint64) []int {
+	hi := uint64(0)
+	for _, v := range counts {
+		if v > hi {
+			hi = v
+		}
+	}
+	ids := make([]int, 0, len(counts))
+	for i, v := range counts {
+		if v < hi {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}

@@ -102,13 +102,13 @@ func (a *Aggregate) Summary() AggregateSummary {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	s := AggregateSummary{
-		Episodes:    a.episodes,
-		P:           a.p,
-		Sigma:       a.est.Sigma(),
+		Episodes:     a.episodes,
+		P:            a.p,
+		Sigma:        a.est.Sigma(),
 		MaxSyncDelay: a.syncMax,
-		Swaps:       a.swaps,
-		Adaptations: a.adaptations,
-		Degree:      a.degree,
+		Swaps:        a.swaps,
+		Adaptations:  a.adaptations,
+		Degree:       a.degree,
 	}
 	if a.episodes > 0 {
 		s.MeanSpread = a.spreadSum / float64(a.episodes)

@@ -33,11 +33,12 @@ type Option func(*options)
 
 // options is the merged configuration shared by all constructors.
 type options struct {
-	observer   Observer
-	policy     rt.WaitPolicy
-	clock      func() int64
-	treeWakeup bool
-	watchdog   time.Duration
+	observer     Observer
+	policy       rt.WaitPolicy
+	clock        func() int64
+	treeWakeup   bool
+	watchdog     time.Duration
+	poisonNotify func(error)
 }
 
 func applyOptions(opts []Option) options {
@@ -87,6 +88,17 @@ func WithWaitPolicy(p WaitPolicy) Option {
 // release the goroutine; d <= 0 disables the watchdog.
 func WithWatchdog(d time.Duration) Option {
 	return func(o *options) { o.watchdog = d }
+}
+
+// WithPoisonNotify installs fn to be called exactly once when the barrier
+// is poisoned — by Poison, a context cancellation, or the WithWatchdog
+// stall detector — with the cause as its argument. The hook runs on the
+// poisoning goroutine after local waiters have been woken, so it may block
+// (a networked coordinator uses it to broadcast the wire-encoded cause to
+// remote waiters) without delaying the local release. After Reset, the
+// next poisoning notifies again.
+func WithPoisonNotify(fn func(error)) Option {
+	return func(o *options) { o.poisonNotify = fn }
 }
 
 // WithTreeWakeup selects tree-propagated wakeup on TreeBarrier: released

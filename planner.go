@@ -58,7 +58,7 @@ func Recommend(pr Profile) Recommendation {
 	if tc == 0 {
 		tc = 20e-6
 	}
-	rec := Recommendation{Degree: OptimalDegree(pr.P, pr.Sigma, tc)}
+	rec := Recommendation{Degree: clampDegree(OptimalDegree(pr.P, pr.Sigma, tc), pr.P)}
 	rationale := fmt.Sprintf("degree %d from the analytic model (p=%d, σ=%.3gs, t_c=%.3gs)",
 		rec.Degree, pr.P, pr.Sigma, tc)
 
@@ -81,6 +81,24 @@ func Recommend(pr Profile) Recommendation {
 	}
 	rec.Rationale = rationale
 	return rec
+}
+
+// clampDegree bounds a recommended tree degree to [2, p]: a combining
+// tree needs fan-in ≥ 2 to combine anything, and a degree above p buys
+// nothing over the flat central counter the tree degenerates to at
+// degree p. For p < 2 the interval is empty and the floor wins — the
+// degenerate one-participant tree accepts any degree. OptimalDegree
+// applies the same clamp; repeating it here keeps the planner's contract
+// independent of the model's, so a future model that returns raw optima
+// cannot leak an unbuildable degree into a Recommendation.
+func clampDegree(d, p int) int {
+	if p >= 2 && d > p {
+		d = p
+	}
+	if d < 2 {
+		d = 2
+	}
+	return d
 }
 
 // SigmaSource supplies a measured arrival-spread estimate. AdaptiveBarrier

@@ -205,3 +205,56 @@ func TestGroupRunErrEarliestStepWins(t *testing.T) {
 		t.Fatalf("err = %v, want the earliest failing step's error", err)
 	}
 }
+
+// fixedSigma is a SigmaSource returning a constant estimate.
+type fixedSigma struct {
+	sigma    float64
+	episodes uint64
+}
+
+func (s fixedSigma) MeasuredSigma() (float64, uint64) { return s.sigma, s.episodes }
+
+// TestRecommendClampsDegreeToParticipants pins the planner contract that
+// a Recommendation is always buildable: Degree ∈ [2, max(2, p)] no matter
+// how wide a tree the analytic model asks for. Small cohorts with large σ
+// are exactly where the model overshoots — σ ≥ 1 ms wants degree ≈ 64 at
+// p = 64, so without the clamp p = 3 would be handed degree 64.
+func TestRecommendClampsDegreeToParticipants(t *testing.T) {
+	cases := []struct {
+		name string
+		pr   Profile
+		want int
+	}{
+		{"p1-huge-sigma", Profile{P: 1, Sigma: 1}, 2},
+		{"p2-huge-sigma", Profile{P: 2, Sigma: 1}, 2},
+		{"p3-huge-sigma", Profile{P: 3, Sigma: 1}, 3},
+		{"p5-huge-sigma", Profile{P: 5, Sigma: 1}, 5},
+		{"p64-tiny-sigma-floor", Profile{P: 64, Sigma: 1e-6}, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := Recommend(c.pr)
+			if rec.Degree != c.want {
+				t.Errorf("Recommend(%+v).Degree = %d, want %d", c.pr, rec.Degree, c.want)
+			}
+			if b := rec.Build(c.pr); b == nil {
+				t.Error("clamped recommendation did not build")
+			}
+		})
+	}
+}
+
+// TestRecommendMeasuredClamps checks the clamp also guards the measured
+// path: a live σ estimate far above the assumed one cannot push the
+// degree past p, and an unseeded source (0 episodes) leaves the assumed
+// σ — and its degree — untouched.
+func TestRecommendMeasuredClamps(t *testing.T) {
+	rec := RecommendMeasured(Profile{P: 3, Sigma: 0}, fixedSigma{sigma: 1, episodes: 100})
+	if rec.Degree != 3 {
+		t.Errorf("measured σ=1s at p=3: Degree = %d, want 3", rec.Degree)
+	}
+	rec = RecommendMeasured(Profile{P: 64, Sigma: 1e-6}, fixedSigma{sigma: 1, episodes: 0})
+	if rec.Degree != 2 {
+		t.Errorf("unseeded source should keep the assumed σ: Degree = %d, want 2", rec.Degree)
+	}
+}

@@ -38,26 +38,30 @@ func (e *StallError) Error() string {
 // parked and spinning waiter escapes, and clear reinitializes its episode
 // state so Reset can return the barrier to service.
 type poisonCore struct {
-	wake  func() // poison the barrier's wait primitives
-	clear func() // reinitialize episode state; called only at quiescence
+	wake   func()      // poison the barrier's wait primitives
+	clear  func()      // reinitialize episode state; called only at quiescence
+	notify func(error) // WithPoisonNotify hook; nil when not installed
 
 	state atomic.Uint32 // 0 healthy, 1 poisoned; written after err below
 	mu    sync.Mutex
 	err   error
 
 	// arrived counts each participant's arrivals (1-based episodes). The
-	// owner bumps its own padded slot; only the watchdog reads across.
-	arrived []rt.PaddedAtomicUint64
+	// owner bumps its own padded slot; only the watchdog — and, through
+	// the promoted Arrivals method, remote coordinators — reads across.
+	arrived *rt.Arrivals
 
 	wdStop chan struct{}
 	wdOnce sync.Once
 }
 
-// initPoison wires the core. watchdog > 0 starts the stall detector.
-func (c *poisonCore) initPoison(p int, watchdog time.Duration, wake, clear func()) {
+// initPoison wires the core. watchdog > 0 starts the stall detector;
+// notify, when non-nil, is invoked once when the barrier is poisoned.
+func (c *poisonCore) initPoison(p int, watchdog time.Duration, notify func(error), wake, clear func()) {
 	c.wake = wake
 	c.clear = clear
-	c.arrived = make([]rt.PaddedAtomicUint64, p)
+	c.notify = notify
+	c.arrived = rt.NewArrivals(p)
 	if watchdog > 0 {
 		c.wdStop = make(chan struct{})
 		go c.runWatchdog(watchdog)
@@ -65,7 +69,14 @@ func (c *poisonCore) initPoison(p int, watchdog time.Duration, wake, clear func(
 }
 
 // noteArrive records participant id's arrival for the watchdog.
-func (c *poisonCore) noteArrive(id int) { c.arrived[id].V.Add(1) }
+func (c *poisonCore) noteArrive(id int) { c.arrived.Note(id) }
+
+// Arrivals returns a snapshot of the per-participant arrival counters:
+// element id is how many episodes participant id has arrived at since
+// construction (or the last Reset). It is the hook a remote coordinator
+// uses to report per-client progress; the snapshot is taken slot by slot
+// and is only episode-consistent at a quiescent point.
+func (c *poisonCore) Arrivals() []uint64 { return c.arrived.Snapshot(nil) }
 
 // poisoned is the hot-path check: one atomic load while healthy.
 func (c *poisonCore) poisoned() bool { return c.state.Load() != 0 }
@@ -91,6 +102,14 @@ func (c *poisonCore) Poison(err error) {
 	// that observes the poisoned state finds a non-nil Err.
 	c.state.Store(1)
 	c.wake()
+	// Notify after the local waiters are released: the hook typically does
+	// I/O (a networked barrier broadcasting the cause), and nothing it can
+	// observe regresses — state and err are already published. Only the
+	// goroutine that won the first-poison race runs it, so the hook fires
+	// exactly once per poisoning.
+	if c.notify != nil {
+		c.notify(err)
+	}
 }
 
 // Err returns the poison error, or nil while the barrier is healthy.
@@ -110,9 +129,7 @@ func (c *poisonCore) Err() error {
 // monitoring.
 func (c *poisonCore) Reset() {
 	c.clear()
-	for i := range c.arrived {
-		c.arrived[i].V.Store(0)
-	}
+	c.arrived.Reset()
 	c.mu.Lock()
 	c.err = nil
 	c.mu.Unlock()
@@ -142,8 +159,7 @@ func (c *poisonCore) runWatchdog(d time.Duration) {
 	}
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
-	prev := make([]uint64, len(c.arrived))
-	cur := make([]uint64, len(c.arrived))
+	prev := make([]uint64, c.arrived.Len())
 	last := time.Now() // when progress (or quiescence) was last observed
 	for {
 		select {
@@ -155,23 +171,8 @@ func (c *poisonCore) runWatchdog(d time.Duration) {
 			last = time.Now()
 			continue
 		}
-		changed := false
-		hi, lo := uint64(0), ^uint64(0)
-		for i := range cur {
-			v := c.arrived[i].V.Load()
-			cur[i] = v
-			if v != prev[i] {
-				changed = true
-			}
-			if v > hi {
-				hi = v
-			}
-			if v < lo {
-				lo = v
-			}
-		}
-		copy(prev, cur)
-		if changed || hi == lo {
+		changed, equal := c.arrived.Scan(prev)
+		if changed || equal {
 			last = time.Now()
 			continue
 		}
@@ -179,13 +180,7 @@ func (c *poisonCore) runWatchdog(d time.Duration) {
 		if stalled < d {
 			continue
 		}
-		missing := make([]int, 0, len(cur))
-		for i, v := range cur {
-			if v < hi {
-				missing = append(missing, i)
-			}
-		}
-		c.Poison(&StallError{Missing: missing, Waited: stalled})
+		c.Poison(&StallError{Missing: rt.Missing(prev), Waited: stalled})
 	}
 }
 
@@ -206,4 +201,104 @@ func (c *poisonCore) waitCtx(ctx context.Context, wait func()) error {
 	wait()
 	stop()
 	return c.Err()
+}
+
+// Poison causes cross process boundaries: a networked barrier that aborts
+// an episode must hand every remote waiter the cause, not just "poisoned".
+// EncodePoisonCause renders an error in a compact, wire-stable binary form
+// and DecodePoisonCause reconstructs it with its identity intact: a
+// *StallError round-trips field for field (errors.As works across the
+// wire), and ErrPoisoned, context.Canceled and context.DeadlineExceeded
+// round-trip as the same sentinel values (errors.Is works). Any other
+// error is carried as its message and decodes to an opaque error with
+// that text.
+const (
+	causeGeneric  = 0x00
+	causePoisoned = 0x01
+	causeStall    = 0x02
+	causeCanceled = 0x03
+	causeDeadline = 0x04
+)
+
+// EncodePoisonCause appends the wire form of err to dst and returns the
+// result. A nil err encodes like ErrPoisoned. Messages and missing-id
+// lists are truncated to 64 KiB / 65535 entries, far beyond any real
+// cause.
+func EncodePoisonCause(dst []byte, err error) []byte {
+	var stall *StallError
+	switch {
+	case err == nil, errors.Is(err, ErrPoisoned):
+		return append(dst, causePoisoned)
+	case errors.Is(err, context.Canceled):
+		return append(dst, causeCanceled)
+	case errors.Is(err, context.DeadlineExceeded):
+		return append(dst, causeDeadline)
+	case errors.As(err, &stall):
+		n := len(stall.Missing)
+		if n > 0xffff {
+			n = 0xffff
+		}
+		dst = append(dst, causeStall, byte(n>>8), byte(n))
+		for _, id := range stall.Missing[:n] {
+			dst = append(dst, byte(uint32(id)>>24), byte(uint32(id)>>16), byte(uint32(id)>>8), byte(uint32(id)))
+		}
+		w := uint64(stall.Waited)
+		for s := 56; s >= 0; s -= 8 {
+			dst = append(dst, byte(w>>s))
+		}
+		return dst
+	default:
+		msg := err.Error()
+		if len(msg) > 0xffff {
+			msg = msg[:0xffff]
+		}
+		dst = append(dst, causeGeneric, byte(len(msg)>>8), byte(len(msg)))
+		return append(dst, msg...)
+	}
+}
+
+// DecodePoisonCause reconstructs a poison cause encoded by
+// EncodePoisonCause. It is total: malformed input decodes to a generic
+// error describing the malformation rather than failing, because the one
+// thing a poison channel must never do is deliver nothing.
+func DecodePoisonCause(b []byte) error {
+	if len(b) == 0 {
+		return ErrPoisoned
+	}
+	switch b[0] {
+	case causePoisoned:
+		return ErrPoisoned
+	case causeCanceled:
+		return context.Canceled
+	case causeDeadline:
+		return context.DeadlineExceeded
+	case causeStall:
+		if len(b) < 3 {
+			return fmt.Errorf("softbarrier: malformed stall cause (%d bytes)", len(b))
+		}
+		n := int(b[1])<<8 | int(b[2])
+		rest := b[3:]
+		if len(rest) != 4*n+8 {
+			return fmt.Errorf("softbarrier: malformed stall cause (%d ids, %d payload bytes)", n, len(rest))
+		}
+		st := &StallError{Missing: make([]int, n)}
+		for i := 0; i < n; i++ {
+			v := uint32(rest[0])<<24 | uint32(rest[1])<<16 | uint32(rest[2])<<8 | uint32(rest[3])
+			st.Missing[i] = int(int32(v))
+			rest = rest[4:]
+		}
+		w := uint64(0)
+		for _, c := range rest[:8] {
+			w = w<<8 | uint64(c)
+		}
+		st.Waited = time.Duration(w)
+		return st
+	case causeGeneric:
+		if len(b) < 3 || len(b[3:]) != int(b[1])<<8|int(b[2]) {
+			return fmt.Errorf("softbarrier: malformed generic cause (%d bytes)", len(b))
+		}
+		return errors.New(string(b[3:]))
+	default:
+		return fmt.Errorf("softbarrier: unknown poison cause tag %#02x", b[0])
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -481,5 +482,136 @@ func TestPoisonConcurrentWithArrivals(t *testing.T) {
 				t.Fatal("concurrent poison deadlocked the pool")
 			}
 		})
+	}
+}
+
+// TestPoisonCauseRoundTrip pins the wire codec: causes keep their
+// identity across EncodePoisonCause / DecodePoisonCause, so errors.Is and
+// errors.As work on the far side of a network hop exactly as they do
+// in-process.
+func TestPoisonCauseRoundTrip(t *testing.T) {
+	st := &StallError{Missing: []int{3, 17}, Waited: 1500 * time.Millisecond}
+	var back *StallError
+	if got := DecodePoisonCause(EncodePoisonCause(nil, st)); !errors.As(got, &back) {
+		t.Fatalf("stall cause decoded to %T (%v), want *StallError", got, got)
+	}
+	if len(back.Missing) != 2 || back.Missing[0] != 3 || back.Missing[1] != 17 || back.Waited != st.Waited {
+		t.Errorf("stall fields changed on the wire: %+v, want %+v", back, st)
+	}
+	// A wrapped stall still travels as a stall.
+	wrapped := fmt.Errorf("episode 9: %w", st)
+	if got := DecodePoisonCause(EncodePoisonCause(nil, wrapped)); !errors.As(got, &back) {
+		t.Errorf("wrapped stall decoded to %T, want *StallError", got)
+	}
+
+	for _, c := range []struct {
+		in   error
+		want error
+	}{
+		{nil, ErrPoisoned},
+		{ErrPoisoned, ErrPoisoned},
+		{fmt.Errorf("run: %w", ErrPoisoned), ErrPoisoned},
+		{context.Canceled, context.Canceled},
+		{context.DeadlineExceeded, context.DeadlineExceeded},
+	} {
+		if got := DecodePoisonCause(EncodePoisonCause(nil, c.in)); !errors.Is(got, c.want) {
+			t.Errorf("EncodePoisonCause(%v) decoded to %v, want errors.Is %v", c.in, got, c.want)
+		}
+	}
+
+	generic := errors.New("worker 3 exploded")
+	if got := DecodePoisonCause(EncodePoisonCause(nil, generic)); got == nil || got.Error() != generic.Error() {
+		t.Errorf("generic cause decoded to %v, want message %q", got, generic.Error())
+	}
+}
+
+// TestDecodePoisonCauseTotal: the decoder must never fail or panic —
+// a poison channel that delivers nothing is a hang. Malformed bytes
+// decode to a descriptive generic error instead.
+func TestDecodePoisonCauseTotal(t *testing.T) {
+	if got := DecodePoisonCause(nil); !errors.Is(got, ErrPoisoned) {
+		t.Errorf("empty cause = %v, want ErrPoisoned", got)
+	}
+	for _, b := range [][]byte{
+		{causeStall},                   // stall missing count
+		{causeStall, 0, 1},             // stall missing ids
+		{causeStall, 0, 1, 0, 0, 0, 5}, // stall missing waited
+		{causeGeneric, 0xff, 0xff},     // generic length overruns
+		{causeGeneric, 0, 1},           // generic message truncated
+		{causeGeneric, 0, 1, 'a', 'b'}, // generic trailing garbage
+		{0x77},                         // unknown tag
+	} {
+		if got := DecodePoisonCause(b); got == nil {
+			t.Errorf("malformed cause %v decoded to nil", b)
+		}
+	}
+}
+
+// TestWithPoisonNotifyFiresOncePerPoisoning: the notify hook runs exactly
+// once per poisoning no matter how many goroutines race to poison, fires
+// after local waiters are woken, and arms again after Reset.
+func TestWithPoisonNotifyFiresOncePerPoisoning(t *testing.T) {
+	var calls atomic.Int32
+	var last atomic.Value
+	b := NewCombiningTree(4, 2, WithPoisonNotify(func(err error) {
+		calls.Add(1)
+		last.Store(err)
+	}))
+
+	cause := errors.New("first")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Poison(cause)
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("notify fired %d times for one poisoning, want 1", n)
+	}
+	if got := last.Load(); got != cause {
+		t.Errorf("notify saw %v, want the winning cause %v", got, cause)
+	}
+
+	b.Reset()
+	b.Poison(errors.New("second"))
+	if n := calls.Load(); n != 2 {
+		t.Errorf("notify fired %d times after Reset+Poison, want 2", n)
+	}
+}
+
+// TestArrivalsSnapshot checks the exported per-participant arrival
+// counters a remote coordinator reads: they count episodes per id, are
+// episode-consistent at quiescent points, and Reset zeroes them.
+func TestArrivalsSnapshot(t *testing.T) {
+	const p, episodes = 3, 5
+	b := NewCombiningTree(p, 2)
+	var wg sync.WaitGroup
+	for id := 0; id < p; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for e := 0; e < episodes; e++ {
+				b.Wait(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+	counts := b.Arrivals()
+	if len(counts) != p {
+		t.Fatalf("Arrivals() has %d slots, want %d", len(counts), p)
+	}
+	for id, n := range counts {
+		if n != episodes {
+			t.Errorf("participant %d arrived %d times, want %d", id, n, episodes)
+		}
+	}
+	b.Reset()
+	for _, n := range b.Arrivals() {
+		if n != 0 {
+			t.Fatalf("Reset left arrival counts %v, want zeros", b.Arrivals())
+		}
 	}
 }

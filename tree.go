@@ -84,7 +84,7 @@ func newTreeBarrier(tree *topology.Tree, opts []Option) *TreeBarrier {
 		rt.InitCells(b.wakeFlag)
 	}
 	b.rec = o.recorder(tree.P, false)
-	b.initPoison(tree.P, o.watchdog,
+	b.initPoison(tree.P, o.watchdog, o.poisonNotify,
 		func() {
 			b.gate.Poison()
 			for i := range b.wakeFlag {
