@@ -1,50 +1,22 @@
 package softbarrier
 
-import (
-	"context"
-	"sync/atomic"
-
-	rt "softbarrier/internal/runtime"
-	"softbarrier/internal/topology"
-)
-
 // AdaptiveBarrier is a combining-tree barrier that re-derives its own tree
 // degree at run time from the measured load imbalance — the adaptation the
 // paper's conclusion proposes ("barriers that would adapt their degree at
 // run time to minimize their synchronization delay").
 //
-// Every episode the shared internal/runtime recorder measures the spread
-// of participant arrival times, and the releaser folds it into the shared
-// EWMA σ estimator. Every Interval episodes the participant releasing the
-// barrier re-evaluates the analytic model (OptimalDegree) and, if the
-// recommended degree changed, rebuilds the counter tree before releasing
-// the episode — a point at which no participant can be touching the
-// counters. The same measurements feed any installed Observer and, via
-// MeasuredSigma, the planner's measured profiles (RecommendMeasured).
-type AdaptiveBarrier struct {
-	p int
-	// interval is the number of episodes between degree re-evaluations.
-	interval int
-	// tc is the assumed counter update cost fed to the model.
-	tc float64
-
-	gate  rt.Gate
-	myGen []rt.PaddedUint64
-
-	state atomic.Pointer[adaptiveState] // replaced only before a release
-
-	rec         *rt.Recorder      // always active: the control loop needs the spreads
-	est         rt.SigmaEstimator // EWMA of per-episode arrival spread, seconds
-	adaptations atomic.Uint64
-	poisonCore
-}
-
-// adaptiveState is the rebuildable part: a topology plus its counters.
-type adaptiveState struct {
-	tree     *topology.Tree
-	counters []treeCounter
-	degree   int
-}
+// It is the fixed-membership face of ReconfigurableBarrier: the same
+// epoch-based reconfiguration core (internal/reconfig) drives its degree
+// changes, and the elastic operations (Grow/Shrink/Resize) are available
+// on it too. Every episode the shared internal/runtime recorder measures
+// the spread of participant arrival times, the releaser folds it into the
+// shared EWMA σ estimator, and every Interval episodes the controller
+// re-evaluates the analytic model (OptimalDegree); a changed
+// recommendation rebuilds the counter tree before the episode's release —
+// a point at which no participant can be touching the counters. The same
+// measurements feed any installed Observer and, via MeasuredSigma, the
+// planner's measured profiles (RecommendMeasured).
+type AdaptiveBarrier = ReconfigurableBarrier
 
 // NewAdaptive returns an adaptive barrier for p participants, starting at
 // degree 4 (the classic simultaneous-arrival optimum), re-evaluating every
@@ -63,133 +35,9 @@ func NewAdaptive(p, interval int, tc float64, opts ...Option) *AdaptiveBarrier {
 	if tc < 0 {
 		panic("softbarrier: negative counter update cost")
 	}
-	o := applyOptions(opts)
-	b := &AdaptiveBarrier{
-		p:        p,
-		interval: interval,
-		tc:       tc,
-		myGen:    make([]rt.PaddedUint64, p),
-	}
-	b.gate.Init(o.policy)
-	b.rec = o.recorder(p, true)
-	b.est.Init(rt.DefaultSigmaWeight)
-	b.state.Store(newAdaptiveState(p, 4))
-	b.initPoison(p, o.watchdog, o.poisonNotify,
-		func() { b.gate.Poison() },
-		func() {
-			st := b.state.Load()
-			for i := range st.counters {
-				c := &st.counters[i]
-				c.mu.Lock()
-				c.count = 0
-				c.mu.Unlock()
-			}
-			b.gate.Unpoison()
-		})
-	return b
+	return NewReconfigurable(p, ReconfigConfig{
+		ReplanEvery:   interval,
+		Tc:            tc,
+		InitialDegree: 4,
+	}, opts...)
 }
-
-func newAdaptiveState(p, degree int) *adaptiveState {
-	tree := topology.NewClassic(p, degree)
-	st := &adaptiveState{tree: tree, counters: make([]treeCounter, len(tree.Counters)), degree: degree}
-	for i := range st.counters {
-		st.counters[i].fanIn = tree.Counters[i].FanIn()
-	}
-	return st
-}
-
-// Participants returns P.
-func (b *AdaptiveBarrier) Participants() int { return b.p }
-
-// Degree returns the current tree degree.
-func (b *AdaptiveBarrier) Degree() int { return b.state.Load().degree }
-
-// Sigma returns the current arrival-spread estimate in seconds.
-func (b *AdaptiveBarrier) Sigma() float64 { return b.est.Sigma() }
-
-// MeasuredSigma implements SigmaSource: the live σ estimate and the number
-// of episodes it is based on, for feeding back into the planner.
-func (b *AdaptiveBarrier) MeasuredSigma() (sigma float64, episodes uint64) {
-	return b.est.Sigma(), b.est.Episodes()
-}
-
-// Adaptations returns how many times the barrier has rebuilt its tree.
-func (b *AdaptiveBarrier) Adaptations() uint64 { return b.adaptations.Load() }
-
-// Wait blocks until all participants arrive.
-func (b *AdaptiveBarrier) Wait(id int) {
-	b.Arrive(id)
-	b.Await(id)
-}
-
-// Arrive records the arrival time and performs the counter ascent,
-// adapting and releasing the episode if id completes the root. On a
-// poisoned barrier it is a no-op.
-func (b *AdaptiveBarrier) Arrive(id int) {
-	checkID(id, b.p)
-	if b.poisoned() {
-		return
-	}
-	b.noteArrive(id)
-	gen := b.gate.Seq()
-	b.rec.Arrive(id, gen)
-	b.myGen[id].V = gen
-
-	st := b.state.Load()
-	c := st.tree.FirstCounter(id)
-	for c != topology.NoCounter {
-		tc := &st.counters[c]
-		tc.mu.Lock()
-		tc.count++
-		last := tc.count == tc.fanIn
-		if last {
-			tc.count = 0
-		}
-		tc.mu.Unlock()
-		if !last {
-			return
-		}
-		c = st.tree.Counters[c].Parent
-	}
-	b.releaseAndMaybeAdapt(st)
-}
-
-// releaseAndMaybeAdapt runs on the participant that completed the root: a
-// quiescent point for the counters (every participant has finished its
-// ascent). It folds the measured spread into the σ estimate, rebuilds the
-// tree if due, emits the episode's telemetry, and releases the episode.
-func (b *AdaptiveBarrier) releaseAndMaybeAdapt(st *adaptiveState) {
-	m, _ := b.rec.Measure(b.gate.Seq())
-	b.est.Observe(m.Spread)
-	if b.est.Episodes()%uint64(b.interval) == 0 {
-		if d := OptimalDegree(b.p, b.est.Sigma(), b.tc); d != st.degree {
-			b.state.Store(newAdaptiveState(b.p, d))
-			b.adaptations.Add(1)
-		}
-	}
-	b.rec.Emit(m, rt.Extra{Adaptations: b.adaptations.Load(), Degree: b.Degree()})
-	b.gate.Open()
-}
-
-// Await blocks participant id until the episode it arrived in completes
-// or the barrier is poisoned.
-func (b *AdaptiveBarrier) Await(id int) {
-	checkID(id, b.p)
-	b.gate.Await(b.myGen[id].V)
-}
-
-// WaitCtx is Wait with cancellation: if ctx ends while the wait is in
-// flight the barrier is poisoned, and the poison error is returned.
-func (b *AdaptiveBarrier) WaitCtx(ctx context.Context, id int) error {
-	checkID(id, b.p)
-	return b.waitCtx(ctx, func() { b.Wait(id) })
-}
-
-// AwaitCtx is Await with cancellation, with WaitCtx's poison semantics.
-func (b *AdaptiveBarrier) AwaitCtx(ctx context.Context, id int) error {
-	checkID(id, b.p)
-	return b.waitCtx(ctx, func() { b.Await(id) })
-}
-
-var _ PhasedBarrier = (*AdaptiveBarrier)(nil)
-var _ ContextBarrier = (*AdaptiveBarrier)(nil)

@@ -6,7 +6,12 @@
 // Usage:
 //
 //	barrierd [-listen 127.0.0.1:7643] [-watchdog 10s] [-replan 10]
-//	         [-dynamic] [-tc SECONDS] [-sigma SECONDS]
+//	         [-dynamic] [-elastic] [-tc SECONDS] [-sigma SECONDS]
+//
+// With -elastic, session membership may change between episodes: joins
+// against a full session are parked and admitted at the next episode
+// boundary, and a Leave shrinks the cohort at the next boundary instead
+// of retiring the session only when everyone has left.
 //
 // The daemon serves until SIGINT or SIGTERM, then poisons every live
 // session (members receive a "server closed" cause instead of a hang)
@@ -49,8 +54,8 @@ func main() {
 		srv.Close()
 	}()
 
-	log.Printf("listening on %s (watchdog %v, replan every %d episodes, dynamic %v)",
-		ln.Addr(), opt.Watchdog, opt.ReplanEvery, opt.Dynamic)
+	log.Printf("listening on %s (watchdog %v, replan every %d episodes, dynamic %v, elastic %v)",
+		ln.Addr(), opt.Watchdog, opt.ReplanEvery, opt.Dynamic, opt.Elastic)
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, netbarrier.ErrServerClosed) {
 		log.Fatal(err)
 	}

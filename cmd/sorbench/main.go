@@ -161,8 +161,10 @@ func main() {
 		fmt.Printf("dynamic placement performed %d swaps\n", d.Swaps())
 	}
 	if a, ok := b.(*softbarrier.AdaptiveBarrier); ok {
-		fmt.Printf("adaptive barrier: degree %d, σ estimate %v, %d adaptations\n",
-			a.Degree(), time.Duration(a.Sigma()*float64(time.Second)).Round(time.Microsecond), a.Adaptations())
+		rs := a.ReconfigStats()
+		fmt.Printf("adaptive barrier: degree %d, σ estimate %v, epoch %d (%d rebuilds over %d evals, %d deferred)\n",
+			a.Degree(), time.Duration(a.Sigma()*float64(time.Second)).Round(time.Microsecond),
+			rs.LastPlan.Epoch, rs.Rebuilds, rs.Evals, rs.Deferred)
 	}
 
 	if *stats != "" {

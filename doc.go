@@ -17,9 +17,15 @@
 //     migrates toward the root (victor/victim swaps), cutting its
 //     synchronization path from O(log p) to O(1) when arrival order is
 //     predictable (systemic imbalance, or fuzzy barriers with slack).
-//   - AdaptiveBarrier: a tree barrier that measures the arrival spread σ
-//     and re-derives its degree from the paper's analytic model — the
-//     run-time adaptation the paper's conclusion proposes.
+//   - ReconfigurableBarrier: a tree barrier built on an epoch-based
+//     reconfiguration core (internal/reconfig): it measures the arrival
+//     spread σ, re-derives its degree from the paper's analytic model —
+//     the run-time adaptation the paper's conclusion proposes — and is
+//     elastic: Grow/Shrink/Resize change the participant count at episode
+//     boundaries while waiters drain safely. AdaptiveBarrier is an alias
+//     for it. Every rebuild happens at a quiescent point via one atomic
+//     pointer swap, with hysteresis damping σ noise; ReconfigStats
+//     reports the epoch, rebuild and deferral history.
 //
 // The library also ships the classic baselines the paper compares
 // against: DisseminationBarrier (the Hensgen/Finkel/Manber butterfly) and
@@ -63,8 +69,10 @@
 // The same machinery runs across machine boundaries: cmd/barrierd (on
 // internal/netbarrier) is a TCP coordination service whose sessions run a
 // combining tree against remote arrivals, re-planning the tree degree
-// from the measured arrival spread σ at episode boundaries and
-// broadcasting poison causes in the wire form produced by
+// from the measured arrival spread σ at episode boundaries — and, in
+// elastic mode, admitting late joiners and absorbing departures at those
+// same boundaries — and broadcasting poison causes in the wire form
+// produced by
 // EncodePoisonCause, so errors.As and errors.Is keep working on the far
 // side of the network.
 //

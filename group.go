@@ -24,8 +24,9 @@ import (
 type Group struct {
 	b Barrier
 
-	mu    sync.Mutex
-	stats GroupStats
+	mu      sync.Mutex
+	stats   GroupStats
+	running int // in-flight Run/RunErr/RunFuzzy invocations
 }
 
 // GroupStats aggregates the supersteps a Group has executed across its
@@ -64,8 +65,41 @@ func (g *Group) note(start time.Time, steps int) {
 	g.stats.Runs++
 	g.stats.Steps += steps
 	g.stats.Wall += time.Since(start)
+	g.running--
 	g.mu.Unlock()
 }
+
+// begin marks a run in flight, blocking Resize for its duration.
+func (g *Group) begin() {
+	g.mu.Lock()
+	g.running++
+	g.mu.Unlock()
+}
+
+// Resize changes the group's worker count, for barriers that support it
+// (Resizable — the reconfigurable/adaptive barrier). The group must be
+// between runs: a Group resize is the caller-synchronized quiescent path,
+// and the next Run picks up the new worker count. To change membership
+// while workers are running, use the barrier's own Grow/Shrink, which
+// queue the change for an episode boundary.
+func (g *Group) Resize(p int) error {
+	r, ok := g.b.(Resizable)
+	if !ok {
+		return fmt.Errorf("softbarrier: %T does not support resizing", g.b)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.running > 0 {
+		return fmt.Errorf("softbarrier: cannot resize group with %d runs in flight", g.running)
+	}
+	return r.Resize(p)
+}
+
+// Grow adds n workers to the group between runs.
+func (g *Group) Grow(n int) error { return g.Resize(g.b.Participants() + n) }
+
+// Shrink removes n workers from the group between runs.
+func (g *Group) Shrink(n int) error { return g.Resize(g.b.Participants() - n) }
 
 // panicTracker coordinates panic recovery across a worker pool: the first
 // panic of the earliest step wins, and every worker stops at that step's
@@ -182,6 +216,7 @@ func (g *Group) heal(ab Abortable, selfInflicted bool) error {
 // the barrier healed for reuse). If the barrier is poisoned from outside
 // mid-run, Run stops the pool and panics with the poison error.
 func (g *Group) Run(steps int, fn func(id, step int)) {
+	g.begin()
 	start := time.Now()
 	p := g.b.Participants()
 	ab, _ := g.b.(Abortable)
@@ -220,6 +255,7 @@ func (g *Group) Run(steps int, fn func(id, step int)) {
 // errors. If the barrier is poisoned from outside mid-run, RunErr stops
 // the pool and returns the poison error.
 func (g *Group) RunErr(steps int, fn func(id, step int) error) error {
+	g.begin()
 	start := time.Now()
 	p := g.b.Participants()
 	ab, _ := g.b.(Abortable)
@@ -295,6 +331,7 @@ func (g *Group) RunFuzzy(steps int, fn, slackFn func(id, step int)) {
 	if !ok {
 		panic("softbarrier: RunFuzzy needs a PhasedBarrier")
 	}
+	g.begin()
 	start := time.Now()
 	p := g.b.Participants()
 	ab, _ := g.b.(Abortable)

@@ -151,6 +151,10 @@ type NetFlags struct {
 	Replan int
 	// Dynamic marks imbalance as systemic, selecting dynamic placement.
 	Dynamic bool
+	// Elastic lets session membership change between episodes: late
+	// joiners are parked and admitted at the next boundary, leavers shrink
+	// the cohort instead of stalling it.
+	Elastic bool
 	// Tc is the model's counter-update cost in seconds; 0 = the paper's 20µs.
 	Tc float64
 	// Sigma is the arrival spread assumed before any episode is measured.
@@ -164,6 +168,7 @@ func AddNetFlags() *NetFlags {
 	flag.DurationVar(&f.Watchdog, "watchdog", 10*time.Second, "per-session stall deadline (0 disables stall detection)")
 	flag.IntVar(&f.Replan, "replan", 10, "episodes between tree-degree re-plans (0 = every episode)")
 	flag.BoolVar(&f.Dynamic, "dynamic", false, "treat imbalance as systemic: use dynamic-placement trees")
+	flag.BoolVar(&f.Elastic, "elastic", false, "elastic sessions: admit joins and absorb leaves at episode boundaries")
 	flag.Float64Var(&f.Tc, "tc", 0, "model counter-update cost in seconds (0 = 20µs)")
 	flag.Float64Var(&f.Sigma, "sigma", 0, "assumed arrival spread in seconds before measurement")
 	return f
@@ -176,6 +181,7 @@ func (f *NetFlags) Options() netbarrier.Options {
 		Watchdog:     f.Watchdog,
 		ReplanEvery:  f.Replan,
 		Dynamic:      f.Dynamic,
+		Elastic:      f.Elastic,
 		Tc:           f.Tc,
 		InitialSigma: f.Sigma,
 	}

@@ -12,13 +12,16 @@ import (
 )
 
 // Release is what a completed episode looks like from a client: the
-// episode index, the tree degree the next episode will run at (it moves
-// when the server re-plans), the episode's measured arrival spread, and
-// the session's EWMA σ estimate — the same telemetry a local Observer
-// would see, one frame per episode.
+// episode index, the configuration the next episode will run at — tree
+// degree, participant count and epoch, all of which move when the server
+// re-plans or (elastic sessions) the membership changes — the episode's
+// measured arrival spread, and the session's EWMA σ estimate: the same
+// telemetry a local Observer would see, one frame per episode.
 type Release struct {
 	Episode uint64
 	Degree  int
+	P       int     // the next episode's participant count
+	Epoch   uint64  // the next episode's configuration epoch
 	Spread  float64 // this episode's arrival spread, seconds
 	Sigma   float64 // the session's EWMA σ estimate, seconds
 }
@@ -46,6 +49,7 @@ type Client struct {
 	p       int
 	degree  int
 	episode uint64
+	epoch   uint64
 	sigma   float64
 	err     error
 }
@@ -98,8 +102,13 @@ func (c *Client) JoinAs(session string, p, id int) error {
 // ID returns the participant id the server assigned.
 func (c *Client) ID() int { return c.id }
 
-// Participants returns the session's participant count.
+// Participants returns the session's participant count as of the last
+// release (or the join) — in an elastic session it moves as members join
+// and leave.
 func (c *Client) Participants() int { return c.p }
+
+// Epoch returns the session's configuration epoch as of the last release.
+func (c *Client) Epoch() uint64 { return c.epoch }
 
 // Degree returns the tree degree of the upcoming episode, as of the last
 // release (or the join).
@@ -140,8 +149,12 @@ func (c *Client) Await() (Release, error) {
 	case TypeRelease:
 		c.episode = f.Episode + 1
 		c.degree = f.Degree
+		if f.P > 0 {
+			c.p = f.P
+		}
+		c.epoch = f.Epoch
 		c.sigma = f.Sigma
-		return Release{Episode: f.Episode, Degree: f.Degree, Spread: f.Spread, Sigma: f.Sigma}, nil
+		return Release{Episode: f.Episode, Degree: f.Degree, P: f.P, Epoch: f.Epoch, Spread: f.Spread, Sigma: f.Sigma}, nil
 	case TypePoison:
 		return Release{}, c.fail(softbarrier.DecodePoisonCause(f.Cause))
 	default:

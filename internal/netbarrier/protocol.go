@@ -38,10 +38,12 @@ const (
 	// episode(uint64). The episode must be the session's current one.
 	TypeArrive = byte(3)
 	// TypeRelease (server → client) completes an episode:
-	// episode(uint64) degree(uint32) spreadBits(uint64) sigmaBits(uint64).
-	// degree is the tree degree the *next* episode will run at (it changes
-	// when the planner re-plans), spread the episode's measured arrival
-	// spread in seconds, sigma the session's EWMA σ estimate.
+	// episode(uint64) degree(uint32) p(uint32) epoch(uint64)
+	// spreadBits(uint64) sigmaBits(uint64). degree, p and epoch describe
+	// the configuration the *next* episode will run at (they change when
+	// the session re-plans its degree or, in elastic sessions, its
+	// membership), spread is the episode's measured arrival spread in
+	// seconds, sigma the session's EWMA σ estimate.
 	TypeRelease = byte(4)
 	// TypePoison (server → client) aborts the session:
 	// causeLen(uint16) cause, where cause is the
@@ -68,10 +70,11 @@ const (
 type Frame struct {
 	Type    byte
 	Name    string  // JoinReq: session name
-	P       int     // JoinReq, JoinResp: participant count
+	P       int     // JoinReq, JoinResp, Release: participant count
 	ID      int     // JoinReq: requested id (-1 = any); JoinResp: assigned id
 	Degree  int     // JoinResp, Release: current tree degree
 	Episode uint64  // JoinResp, Arrive, Release: episode index
+	Epoch   uint64  // Release: configuration epoch index
 	Spread  float64 // Release: measured arrival spread, seconds
 	Sigma   float64 // Release: EWMA σ estimate, seconds
 	Err     string  // JoinResp: refusal reason ("" = accepted)
@@ -110,6 +113,8 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	case TypeRelease:
 		dst = binary.BigEndian.AppendUint64(dst, f.Episode)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(f.Degree))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.P))
+		dst = binary.BigEndian.AppendUint64(dst, f.Epoch)
 		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Spread))
 		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Sigma))
 	case TypePoison:
@@ -178,13 +183,15 @@ func DecodeFrame(body []byte) (Frame, error) {
 		}
 		f.Episode = binary.BigEndian.Uint64(b)
 	case TypeRelease:
-		if len(b) != 28 {
-			return Frame{}, fmt.Errorf("netbarrier: release wants 28 bytes, has %d", len(b))
+		if len(b) != 40 {
+			return Frame{}, fmt.Errorf("netbarrier: release wants 40 bytes, has %d", len(b))
 		}
 		f.Episode = binary.BigEndian.Uint64(b)
 		f.Degree = int(binary.BigEndian.Uint32(b[8:]))
-		f.Spread = bitsFloat(binary.BigEndian.Uint64(b[12:]))
-		f.Sigma = bitsFloat(binary.BigEndian.Uint64(b[20:]))
+		f.P = int(binary.BigEndian.Uint32(b[12:]))
+		f.Epoch = binary.BigEndian.Uint64(b[16:])
+		f.Spread = bitsFloat(binary.BigEndian.Uint64(b[24:]))
+		f.Sigma = bitsFloat(binary.BigEndian.Uint64(b[32:]))
 	case TypePoison:
 		c, rest, err := lengthPrefixed(b, "poison cause", 0xffff)
 		if err != nil {

@@ -18,8 +18,8 @@ func sampleFrames() []Frame {
 		{Type: TypeJoinResp, Err: "session is full"},
 		{Type: TypeArrive, Episode: 0},
 		{Type: TypeArrive, Episode: 1<<63 - 1},
-		{Type: TypeRelease, Episode: 999, Degree: 64, Spread: 3.25e-4, Sigma: 2.5e-4},
-		{Type: TypeRelease, Episode: 0, Degree: 2, Spread: math.NaN(), Sigma: math.Inf(1)},
+		{Type: TypeRelease, Episode: 999, Degree: 64, P: 128, Epoch: 7, Spread: 3.25e-4, Sigma: 2.5e-4},
+		{Type: TypeRelease, Episode: 0, Degree: 2, P: 2, Epoch: 0, Spread: math.NaN(), Sigma: math.Inf(1)},
 		{Type: TypePoison, Cause: []byte{0x01}},
 		{Type: TypePoison, Cause: []byte{}},
 		{Type: TypeLeave},
@@ -30,7 +30,8 @@ func sampleFrames() []Frame {
 // NaN on the wire) and nil/empty byte slices as equal.
 func framesEqual(a, b Frame) bool {
 	if a.Type != b.Type || a.Name != b.Name || a.P != b.P || a.ID != b.ID ||
-		a.Degree != b.Degree || a.Episode != b.Episode || a.Err != b.Err {
+		a.Degree != b.Degree || a.Episode != b.Episode || a.Epoch != b.Epoch ||
+		a.Err != b.Err {
 		return false
 	}
 	if math.Float64bits(a.Spread) != math.Float64bits(b.Spread) ||

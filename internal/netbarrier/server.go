@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"softbarrier"
 )
 
 // ErrServerClosed is the poison cause members receive when the server is
@@ -31,6 +34,13 @@ type Options struct {
 	// planner select the dynamic-placement barrier: consistently slow
 	// clients migrate toward the tree root between episodes.
 	Dynamic bool
+	// Elastic lets session membership change between episodes: joins
+	// against a full session are parked and admitted at the next episode
+	// boundary instead of refused, Leaves shrink the cohort at the next
+	// boundary instead of stalling it, and the first joiner's participant
+	// count is only the initial cohort size. Member ids are re-assigned
+	// densely at each boundary.
+	Elastic bool
 	// Tc is the counter-update cost fed to the analytic model, seconds;
 	// 0 selects the paper's 20µs.
 	Tc float64
@@ -201,21 +211,51 @@ func (s *Server) retire(sess *session) {
 		delete(s.sessions, sess.name)
 	}
 	s.mu.Unlock()
-	s.opt.logf("session %s: retired after %d episodes (%d re-plans)",
-		sess.name, sess.episode.Load(), sess.replans.Load())
+	st := sess.ctrl.Stats()
+	s.opt.logf("session %s: retired after %d episodes (%d epochs, %d rebuilds)",
+		sess.name, sess.episode.Load(), st.Epochs, st.Rebuilds)
 }
 
-// srvConn is the server side of one member connection. The reader
-// goroutine owns nextArrive; id is fixed at join; gone/leftOK are guarded
-// by the session mutex; writes go through send, which batches each frame
-// into a single socket write under wmu.
+// SessionStats is a live snapshot of one session, for operational
+// monitoring: the current epoch's membership, the episode counter, how
+// many connections are parked awaiting admission, and the unified
+// reconfiguration telemetry shared with the in-process barriers.
+type SessionStats struct {
+	Name     string
+	P        int    // current epoch's participant count
+	Episode  uint64 // current episode index
+	Members  int    // live (joined, not departed) member connections
+	Pending  int    // elastic joiners awaiting the next boundary
+	Reconfig softbarrier.ReconfigStats
+}
+
+// SessionStats returns a snapshot of the named session, or false if no
+// such session is live.
+func (s *Server) SessionStats(name string) (SessionStats, bool) {
+	s.mu.Lock()
+	sess := s.sessions[name]
+	s.mu.Unlock()
+	if sess == nil {
+		return SessionStats{}, false
+	}
+	return sess.stats(), true
+}
+
+// srvConn is the server side of one member connection. id is -1 until the
+// session admits the connection, and in elastic sessions is re-assigned
+// at episode boundaries (both writes happen at quiescent points, but
+// diagnostics read it from arbitrary goroutines, hence atomic); the
+// reader goroutine owns nextArrive's hot path, with the elastic boundary
+// seeding it for freshly admitted members; gone/leftOK are guarded by the
+// session mutex; writes go through send, which batches each frame into a
+// single socket write under wmu.
 type srvConn struct {
 	conn net.Conn
 	bw   *bufio.Writer
 	wmu  sync.Mutex
 
-	id         int
-	nextArrive uint64
+	id         atomic.Int64
+	nextArrive atomic.Uint64
 	gone       bool // no longer a broadcast target
 	leftOK     bool // departed via Leave; disconnection is not a failure
 }
@@ -246,6 +286,7 @@ func (s *Server) handle(conn net.Conn) {
 		tc.SetNoDelay(true) // arrive/release frames are latency-bound, not throughput-bound
 	}
 	c := &srvConn{conn: conn, bw: bufio.NewWriter(conn)}
+	c.id.Store(-1)
 	br := bufio.NewReader(conn)
 
 	conn.SetReadDeadline(time.Now().Add(s.opt.joinTimeout()))
@@ -253,16 +294,24 @@ func (s *Server) handle(conn net.Conn) {
 	if err != nil || req.Type != TypeJoinReq {
 		return // never joined; nothing to poison
 	}
-	sess, resp := s.join(c, req)
-	buf, encErr := AppendFrame(nil, resp)
-	if encErr != nil || c.send(buf, s.opt.writeTimeout()) != nil || sess == nil {
-		if sess != nil {
-			sess.disconnect(c, fmt.Errorf("join response write failed"))
+	sess, resp, deferred := s.join(c, req)
+	if deferred {
+		// Elastic admission: the JoinResp is sent by the episode boundary
+		// that admits this connection; until then the client blocks in
+		// Join and sends nothing, so the read loop just parks.
+		conn.SetReadDeadline(time.Time{})
+		s.opt.logf("session %s: client pending admission (%s)", sess.name, conn.RemoteAddr())
+	} else {
+		buf, encErr := AppendFrame(nil, resp)
+		if encErr != nil || c.send(buf, s.opt.writeTimeout()) != nil || sess == nil {
+			if sess != nil {
+				sess.disconnect(c, fmt.Errorf("join response write failed"))
+			}
+			return
 		}
-		return
+		conn.SetReadDeadline(time.Time{})
+		s.opt.logf("session %s: client %d joined (%s)", sess.name, c.id.Load(), conn.RemoteAddr())
 	}
-	conn.SetReadDeadline(time.Time{})
-	s.opt.logf("session %s: client %d joined (%s)", sess.name, c.id, conn.RemoteAddr())
 
 	for {
 		f, err := ReadFrame(br)
@@ -277,18 +326,19 @@ func (s *Server) handle(conn net.Conn) {
 			sess.leave(c)
 			return
 		default:
-			sess.poison(fmt.Errorf("netbarrier: protocol violation: client %d sent frame type %d", c.id, f.Type))
+			sess.poison(fmt.Errorf("netbarrier: protocol violation: client %d sent frame type %d", c.id.Load(), f.Type))
 			return
 		}
 	}
 }
 
 // join resolves a JoinReq against the session table, creating the session
-// on first contact. It returns the session (nil on refusal) and the
-// JoinResp to send either way.
-func (s *Server) join(c *srvConn, req Frame) (*session, Frame) {
-	refuse := func(msg string) (*session, Frame) {
-		return nil, Frame{Type: TypeJoinResp, Err: msg}
+// on first contact. It returns the session (nil on refusal), the JoinResp
+// to send, and — for elastic sessions — whether the join was deferred to
+// the next episode boundary (the boundary then sends the JoinResp).
+func (s *Server) join(c *srvConn, req Frame) (*session, Frame, bool) {
+	refuse := func(msg string) (*session, Frame, bool) {
+		return nil, Frame{Type: TypeJoinResp, Err: msg}, false
 	}
 	if req.Name == "" {
 		return refuse("empty session name")
@@ -313,15 +363,18 @@ func (s *Server) join(c *srvConn, req Frame) (*session, Frame) {
 	}
 	s.mu.Unlock()
 
-	id, refusal := sess.join(c, req.P, req.ID)
+	id, refusal, deferred := sess.join(c, req.P, req.ID)
 	if refusal != "" {
 		return refuse(refusal)
+	}
+	if deferred {
+		return sess, Frame{}, true
 	}
 	return sess, Frame{
 		Type:    TypeJoinResp,
 		ID:      id,
-		P:       sess.p,
+		P:       sess.p(),
 		Degree:  sess.degree(),
 		Episode: sess.episode.Load(),
-	}
+	}, false
 }

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 
 	"softbarrier"
+	"softbarrier/internal/reconfig"
+	rt "softbarrier/internal/runtime"
 )
 
 // arrivalTree is the server-side arrival structure: the subset of the
@@ -31,9 +33,11 @@ type observerFunc func(softbarrier.EpisodeStats)
 
 func (f observerFunc) Episode(st softbarrier.EpisodeStats) { f(st) }
 
-// session is one named barrier cohort: p members, an in-process combining
-// tree collecting their arrivals, and the planner loop that re-derives the
-// tree degree from the measured arrival spread.
+// session is one named barrier cohort: its members, an in-process
+// combining tree collecting their arrivals, and the shared reconfiguration
+// controller (internal/reconfig) that re-derives the tree configuration —
+// degree, and in elastic mode membership — from the measured arrival
+// spread.
 //
 // Concurrency design. Each member's socket is read by its own goroutine,
 // which calls core.Arrive directly — so the degree-d combining tree is
@@ -42,26 +46,36 @@ func (f observerFunc) Episode(st softbarrier.EpisodeStats) { f(st) }
 // completes the root runs the Observer callback at the episode's
 // quiescent point: every arrival of the episode is in, and no client can
 // send its next Arrive until the Release frame this callback is about to
-// write reaches it. That quiescence is what makes the degree re-plan a
-// plain pointer swap: the callback builds a fresh tree at the new degree,
-// stores it, and only then broadcasts the release, so every subsequent
-// arrival lands in the new tree.
+// write reaches it. That quiescence is what makes every reconfiguration a
+// plain pointer swap: the callback asks the controller for a Plan, builds
+// a fresh tree, stores it, and only then broadcasts the release, so every
+// subsequent arrival lands in the new tree.
+//
+// Elastic sessions (Options.Elastic) additionally treat membership as part
+// of the epoch: a Leave drops the member at the next boundary (with the
+// session proxy-arriving for a leaver that had not arrived yet, so the
+// in-flight episode still completes), and a join against a full session
+// parks the connection on the pending list until the boundary admits it
+// into the next epoch — late joiners are welcomed, not refused. Member ids
+// are re-assigned densely at each boundary; a client learns its id from
+// the JoinResp and must not assume it is stable across epochs server-side
+// (the client-visible id is only used in server diagnostics).
 type session struct {
-	name string
-	p    int
-	srv  *Server
+	name    string
+	srv     *Server
+	elastic bool
 
-	profile     softbarrier.Profile
-	agg         *softbarrier.Aggregate // Observer + SigmaSource: the measured-σ feedback loop
-	replanEvery uint64
+	profile softbarrier.Profile  // template for the planner; P and Sigma are live
+	est     rt.SigmaEstimator    // EWMA of per-episode arrival spread
+	ctrl    *reconfig.Controller // epoch state: degree, membership, placement
 
 	core    atomic.Pointer[coreBox]
 	episode atomic.Uint64 // current episode index; advanced by the releaser
-	replans atomic.Uint64 // completed degree re-plans
 	dead    atomic.Bool   // poison broadcast already sent
 
 	mu      sync.Mutex
-	members []*srvConn // slot per id; nil = not joined
+	members []*srvConn // slot per id; nil = not yet joined (formation only)
+	pending []*srvConn // elastic: connections awaiting admission at a boundary
 	joined  int
 	left    int
 	retired bool
@@ -69,12 +83,10 @@ type session struct {
 
 func newSession(srv *Server, name string, p int) *session {
 	s := &session{
-		name:        name,
-		p:           p,
-		srv:         srv,
-		agg:         softbarrier.NewAggregate(),
-		replanEvery: uint64(srv.opt.ReplanEvery),
-		members:     make([]*srvConn, p),
+		name:    name,
+		srv:     srv,
+		elastic: srv.opt.Elastic,
+		members: make([]*srvConn, p),
 		profile: softbarrier.Profile{
 			P:        p,
 			Sigma:    srv.opt.InitialSigma,
@@ -82,21 +94,38 @@ func newSession(srv *Server, name string, p int) *session {
 			Systemic: srv.opt.Dynamic,
 		},
 	}
-	if s.replanEvery == 0 {
-		s.replanEvery = 1
-	}
+	s.est.Init(rt.DefaultSigmaWeight)
 	rec := softbarrier.Recommend(s.profile)
-	s.core.Store(&coreBox{s.buildCore(rec)})
+	s.ctrl = reconfig.New(
+		reconfig.Config{
+			ReplanEvery:  uint64(srv.opt.ReplanEvery),
+			InitialSigma: srv.opt.InitialSigma,
+		},
+		&s.est,
+		s.recommend,
+		reconfig.Plan{P: p, Degree: rec.Degree, Dynamic: rec.Dynamic},
+	)
+	s.core.Store(&coreBox{s.buildCore(s.ctrl.Current())})
 	return s
 }
 
-// buildCore constructs the arrival tree a recommendation describes. With
-// the server's Dynamic option the profile is systemic, so the planner
-// selects the dynamic-placement barrier and consistently slow clients
-// migrate toward the root — placement knowledge is discarded on re-plan,
-// which the paper's own adaptation proposal accepts (rebuilds are rare
-// once σ converges).
-func (s *session) buildCore(rec softbarrier.Recommendation) arrivalTree {
+// recommend is the controller's Recommender: the session's planner profile
+// evaluated at the epoch's membership and the measured σ.
+func (s *session) recommend(p int, sigma float64) (degree int, dynamic bool) {
+	prof := s.profile
+	prof.P = p
+	prof.Sigma = sigma
+	rec := softbarrier.Recommend(prof)
+	return rec.Degree, rec.Dynamic
+}
+
+// buildCore constructs the arrival tree an epoch plan describes. With the
+// server's Dynamic option the profile is systemic, so the planner selects
+// the dynamic-placement barrier and consistently slow clients migrate
+// toward the root — placement knowledge is discarded on rebuild, which the
+// paper's own adaptation proposal accepts (rebuilds are rare once σ
+// converges).
+func (s *session) buildCore(plan reconfig.Plan) arrivalTree {
 	opts := []softbarrier.Option{
 		softbarrier.WithObserver(observerFunc(s.onEpisode)),
 		softbarrier.WithPoisonNotify(s.onPoison),
@@ -104,14 +133,38 @@ func (s *session) buildCore(rec softbarrier.Recommendation) arrivalTree {
 	if d := s.srv.opt.Watchdog; d > 0 {
 		opts = append(opts, softbarrier.WithWatchdog(d))
 	}
-	if rec.Dynamic {
-		return softbarrier.NewDynamic(s.p, rec.Degree, opts...)
+	if plan.Dynamic {
+		return softbarrier.NewDynamic(plan.P, plan.Degree, opts...)
 	}
-	return softbarrier.NewCombiningTree(s.p, rec.Degree, opts...)
+	return softbarrier.NewCombiningTree(plan.P, plan.Degree, opts...)
 }
 
 // degree returns the current tree degree.
 func (s *session) degree() int { return s.core.Load().b.Degree() }
+
+// p returns the current epoch's membership count.
+func (s *session) p() int { return s.ctrl.Current().P }
+
+// stats snapshots the session for Server.SessionStats.
+func (s *session) stats() SessionStats {
+	s.mu.Lock()
+	live := 0
+	for _, m := range s.members {
+		if m != nil && !m.gone {
+			live++
+		}
+	}
+	pending := len(s.pending)
+	s.mu.Unlock()
+	return SessionStats{
+		Name:     s.name,
+		P:        s.p(),
+		Episode:  s.episode.Load(),
+		Members:  live,
+		Pending:  pending,
+		Reconfig: s.ctrl.Stats(),
+	}
+}
 
 // arrive validates and applies one member's Arrive frame. It runs on the
 // member's reader goroutine; the frame's episode must be the session's
@@ -119,33 +172,40 @@ func (s *session) degree() int { return s.core.Load().b.Degree() }
 // release that would let it — so a mismatch is a protocol violation, and
 // a duplicate arrival would corrupt the tree's counters).
 func (s *session) arrive(c *srvConn, episode uint64) {
-	if cur := s.episode.Load(); episode != cur || episode < c.nextArrive {
-		s.poison(fmt.Errorf("netbarrier: protocol violation: client %d arrived for episode %d (current %d)", c.id, episode, cur))
+	id := int(c.id.Load())
+	if id < 0 {
+		s.poison(fmt.Errorf("netbarrier: protocol violation: pending client arrived before admission"))
 		return
 	}
-	c.nextArrive = episode + 1
-	s.core.Load().b.Arrive(c.id)
+	if cur := s.episode.Load(); episode != cur || episode < c.nextArrive.Load() {
+		s.poison(fmt.Errorf("netbarrier: protocol violation: client %d arrived for episode %d (current %d)", id, episode, cur))
+		return
+	}
+	c.nextArrive.Store(episode + 1)
+	s.core.Load().b.Arrive(id)
 }
 
 // onEpisode is the Observer callback: it runs on the reader goroutine
 // whose arrival completed the root, at the episode's quiescent point. It
-// folds the measured spread into the session's σ estimate, re-plans the
-// tree degree when the planner's recommendation moved, advances the
-// episode, and fans the Release frame out to every member socket.
+// folds the measured spread into the σ estimate, applies a due epoch plan
+// (degree rebuild — and, in elastic mode, the membership boundary),
+// advances the episode, and fans the Release frame out to every member
+// socket.
 func (s *session) onEpisode(st softbarrier.EpisodeStats) {
-	s.agg.Episode(st)
+	s.ctrl.Observe(st.Spread)
+	if s.elastic {
+		s.elasticBoundary(st)
+		return
+	}
 	ep := s.episode.Load()
 	box := s.core.Load()
-	deg := box.b.Degree()
-	if _, n := s.agg.MeasuredSigma(); n%s.replanEvery == 0 && !s.dead.Load() {
-		rec := softbarrier.RecommendMeasured(s.profile, s.agg)
-		if rec.Degree != deg {
-			s.core.Store(&coreBox{s.buildCore(rec)})
+	if !s.dead.Load() {
+		if plan, ok := s.ctrl.Evaluate(); ok {
+			s.core.Store(&coreBox{s.buildCore(plan)})
 			box.b.Close() // retire the old tree's watchdog
-			s.replans.Add(1)
-			deg = rec.Degree
-			s.srv.opt.logf("session %s: episode %d re-planned degree %d -> %d (measured sigma %.3gs)",
-				s.name, ep, box.b.Degree(), deg, mustSigma(s.agg))
+			s.ctrl.Commit(plan)
+			s.srv.opt.logf("session %s: episode %d re-planned degree %d -> %d (epoch %d, measured sigma %.3gs)",
+				s.name, ep, box.b.Degree(), plan.Degree, plan.Epoch, plan.Sigma)
 		}
 	}
 	// Advance the episode before the first Release byte leaves: a client's
@@ -155,21 +215,135 @@ func (s *session) onEpisode(st softbarrier.EpisodeStats) {
 	if s.dead.Load() {
 		return // poison raced in mid-episode; members already have the cause
 	}
-	sigma, _ := s.agg.MeasuredSigma()
-	s.broadcast(Frame{Type: TypeRelease, Episode: ep, Degree: deg, Spread: st.Spread, Sigma: sigma}, true)
+	cur := s.ctrl.Current()
+	s.broadcast(Frame{
+		Type: TypeRelease, Episode: ep,
+		Degree: s.degree(), P: cur.P, Epoch: cur.Epoch,
+		Spread: st.Spread, Sigma: s.ctrl.Sigma(),
+	}, true)
+}
+
+// elasticBoundary is the elastic session's episode boundary: under the
+// session mutex it compacts the membership (dropping departed members,
+// admitting pending joiners, re-assigning ids densely), queues the new
+// membership with the controller, applies the resulting epoch plan, and
+// advances the episode; then, outside the mutex, it answers the admitted
+// joiners and releases the continuing members. Holding the mutex across
+// compaction and the episode advance is what makes a concurrent Leave
+// safe: a leaver observes either the pre-boundary episode (and
+// proxy-arrives into the old tree, which still needs its arrival) or the
+// post-boundary membership (which no longer contains it).
+func (s *session) elasticBoundary(st softbarrier.EpisodeStats) {
+	s.mu.Lock()
+	ep := s.episode.Load()
+	box := s.core.Load()
+
+	continuing := make([]*srvConn, 0, len(s.members))
+	for _, m := range s.members {
+		if m != nil && !m.gone {
+			continuing = append(continuing, m)
+		}
+	}
+	admitted := s.pending
+	s.pending = nil
+	live := append(continuing, admitted...)
+	if len(live) == 0 {
+		s.retired = true
+		s.episode.Store(ep + 1)
+		s.mu.Unlock()
+		box.b.Close()
+		s.srv.retire(s)
+		return
+	}
+	for i, m := range live {
+		m.id.Store(int64(i))
+	}
+	for _, m := range admitted {
+		m.nextArrive.Store(ep + 1) // first legal arrival is the new epoch's episode
+	}
+	s.members = live
+	s.joined = len(live)
+	s.left = 0
+	if n := len(live); n != s.ctrl.Current().P {
+		s.ctrl.RequestP(n) // n ≥ 1 here, so the request cannot fail
+	}
+	var old arrivalTree
+	if !s.dead.Load() {
+		if plan, ok := s.ctrl.Evaluate(); ok {
+			s.core.Store(&coreBox{s.buildCore(plan)})
+			old = box.b
+			s.ctrl.Commit(plan)
+		}
+	}
+	s.episode.Store(ep + 1)
+	cur := s.ctrl.Current()
+	s.mu.Unlock()
+
+	if old != nil {
+		old.Close()
+		s.srv.opt.logf("session %s: episode %d epoch %d: p %d degree %d (measured sigma %.3gs, %d joined, %d continuing)",
+			s.name, ep, cur.Epoch, cur.P, cur.Degree, cur.Sigma, len(admitted), len(continuing))
+	}
+	if s.dead.Load() {
+		return // poison raced in mid-episode; members already have the cause
+	}
+	deg := s.degree()
+	sigma := s.ctrl.Sigma()
+	for _, m := range admitted {
+		resp := Frame{
+			Type: TypeJoinResp, ID: int(m.id.Load()), P: cur.P,
+			Degree: deg, Episode: ep + 1,
+		}
+		buf, err := AppendFrame(nil, resp)
+		if err == nil {
+			err = m.send(buf, s.srv.opt.writeTimeout())
+		}
+		if err != nil {
+			s.poison(fmt.Errorf("netbarrier: admitted client unreachable: %w", err))
+			return
+		}
+	}
+	rel := Frame{
+		Type: TypeRelease, Episode: ep,
+		Degree: deg, P: cur.P, Epoch: cur.Epoch,
+		Spread: st.Spread, Sigma: sigma,
+	}
+	buf, err := AppendFrame(nil, rel)
+	if err != nil {
+		s.poison(fmt.Errorf("netbarrier: internal: unencodable frame: %w", err))
+		return
+	}
+	for _, m := range continuing {
+		if err := m.send(buf, s.srv.opt.writeTimeout()); err != nil {
+			s.poison(fmt.Errorf("netbarrier: client %d unreachable: %w", m.id.Load(), err))
+			return
+		}
+	}
 }
 
 // onPoison is the WithPoisonNotify hook: whatever poisoned the tree —
 // watchdog stall, client disconnect, protocol violation, server shutdown —
 // lands here exactly once, and every member socket receives the
-// wire-encoded cause instead of a Release. The session is retired so its
-// name becomes reusable.
+// wire-encoded cause instead of a Release; pending joiners get a refusing
+// JoinResp. The session is retired so its name becomes reusable.
 func (s *session) onPoison(err error) {
 	if !s.dead.CompareAndSwap(false, true) {
 		return
 	}
 	s.srv.opt.logf("session %s: poisoned: %v (arrivals %v)", s.name, err, s.core.Load().b.Arrivals())
 	s.broadcast(Frame{Type: TypePoison, Cause: softbarrier.EncodePoisonCause(nil, err)}, false)
+	s.mu.Lock()
+	pending := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	if len(pending) > 0 {
+		buf, encErr := AppendFrame(nil, Frame{Type: TypeJoinResp, Err: fmt.Sprintf("session poisoned: %v", err)})
+		if encErr == nil {
+			for _, m := range pending {
+				m.send(buf, s.srv.opt.writeTimeout())
+			}
+		}
+	}
 	s.core.Load().b.Close()
 	s.srv.retire(s)
 }
@@ -199,27 +373,44 @@ func (s *session) broadcast(f Frame, poisonOnError bool) {
 	s.mu.Unlock()
 	for _, m := range members {
 		if err := m.send(buf, s.srv.opt.writeTimeout()); err != nil && poisonOnError {
-			s.poison(fmt.Errorf("netbarrier: client %d unreachable: %w", m.id, err))
+			s.poison(fmt.Errorf("netbarrier: client %d unreachable: %w", m.id.Load(), err))
 			return
 		}
 	}
 }
 
 // join claims a member slot. want ≥ 0 requests a specific id; -1 takes
-// the first free slot. It returns the assigned id or a refusal message.
-func (s *session) join(c *srvConn, p, want int) (id int, refusal string) {
+// the first free slot. It returns the assigned id or a refusal message;
+// in an elastic session a join against a full cohort is deferred instead
+// of refused (the connection parks on the pending list and is admitted at
+// the next episode boundary), and the requested id and participant count
+// are advisory — membership is the server's to manage.
+func (s *session) join(c *srvConn, p, want int) (id int, refusal string, deferred bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.retired || s.dead.Load() {
+		return 0, "session is shutting down", false
+	}
+	if s.elastic {
+		for i, m := range s.members {
+			if m == nil {
+				c.id.Store(int64(i))
+				s.members[i] = c
+				s.joined++
+				return i, "", false
+			}
+		}
+		s.pending = append(s.pending, c)
+		return 0, "", true
+	}
 	switch {
-	case s.retired || s.dead.Load():
-		return 0, "session is shutting down"
-	case p != s.p:
-		return 0, fmt.Sprintf("session has %d participants, not %d", s.p, p)
-	case want >= s.p:
-		return 0, fmt.Sprintf("id %d out of range for %d participants", want, s.p)
+	case p != len(s.members):
+		return 0, fmt.Sprintf("session has %d participants, not %d", len(s.members), p), false
+	case want >= len(s.members):
+		return 0, fmt.Sprintf("id %d out of range for %d participants", want, len(s.members)), false
 	case want >= 0:
 		if s.members[want] != nil {
-			return 0, fmt.Sprintf("id %d already taken", want)
+			return 0, fmt.Sprintf("id %d already taken", want), false
 		}
 		id = want
 	default:
@@ -231,54 +422,109 @@ func (s *session) join(c *srvConn, p, want int) (id int, refusal string) {
 			}
 		}
 		if id < 0 {
-			return 0, "session is full"
+			return 0, "session is full", false
 		}
 	}
-	c.id = id
+	c.id.Store(int64(id))
 	s.members[id] = c
 	s.joined++
-	return id, ""
+	return id, "", false
 }
 
 // leave processes a graceful departure: the member will not arrive again,
-// and its connection closing is no longer a failure. When every joined
-// member has left, the session retires. A member that leaves while others
-// keep arriving causes a stall, which the watchdog converts into a
-// StallError naming it — departure is cooperative, not transparent.
+// and its connection closing is no longer a failure.
+//
+// Fixed-membership sessions retire when every joined member has left; a
+// member that leaves while others keep arriving causes a stall, which the
+// watchdog converts into a StallError naming it — departure there is
+// cooperative, not transparent. An elastic session instead absorbs the
+// departure at the next episode boundary: if the leaver had not yet
+// arrived at the in-flight episode, the session arrives on its behalf
+// (the episode cannot complete without that slot, and the leaver will
+// never fill it), and the boundary's compaction then drops it from the
+// next epoch.
 func (s *session) leave(c *srvConn) {
+	if !s.elastic {
+		s.mu.Lock()
+		c.gone = true
+		c.leftOK = true
+		s.left++
+		done := s.left == s.joined && s.joined > 0
+		if done {
+			s.retired = true
+		}
+		s.mu.Unlock()
+		if done {
+			s.core.Load().b.Close()
+			s.srv.retire(s)
+		}
+		return
+	}
 	s.mu.Lock()
+	if c.id.Load() < 0 { // pending, never admitted: just forget it
+		s.dropPendingLocked(c)
+		c.leftOK = true
+		s.mu.Unlock()
+		return
+	}
 	c.gone = true
 	c.leftOK = true
 	s.left++
-	done := s.left == s.joined && s.joined > 0
+	cur := s.episode.Load()
+	needProxy := c.nextArrive.Load() <= cur && !s.dead.Load()
+	allGone := len(s.pending) == 0
+	for _, m := range s.members {
+		if m != nil && !m.gone {
+			allGone = false
+			break
+		}
+	}
+	done := allGone && !needProxy
 	if done {
 		s.retired = true
 	}
+	core := s.core.Load()
 	s.mu.Unlock()
+	if needProxy {
+		// The proxy arrival below may complete the episode, whose boundary
+		// (or, if everyone is gone, retirement) runs inside this call.
+		core.b.Arrive(int(c.id.Load()))
+		return
+	}
 	if done {
-		s.core.Load().b.Close()
+		core.b.Close()
 		s.srv.retire(s)
 	}
 }
 
+// dropPendingLocked removes c from the pending list. Caller holds s.mu.
+func (s *session) dropPendingLocked(c *srvConn) {
+	for i, m := range s.pending {
+		if m == c {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
 // disconnect processes a member's reader terminating with err. A member
-// that already left (or a session already dead) just cleans up; anything
-// else poisons the session — the member cannot arrive anymore, and
-// poisoning is how every other member learns that before the watchdog
-// deadline, let alone forever.
+// that already left (or a session already dead, or a pending joiner that
+// dropped before admission) just cleans up; anything else poisons the
+// session — the member cannot arrive anymore, and poisoning is how every
+// other member learns that before the watchdog deadline, let alone
+// forever.
 func (s *session) disconnect(c *srvConn, err error) {
 	s.mu.Lock()
+	if c.id.Load() < 0 { // pending, never admitted
+		s.dropPendingLocked(c)
+		s.mu.Unlock()
+		return
+	}
 	wasGone := c.gone || c.leftOK
 	c.gone = true
 	s.mu.Unlock()
 	if wasGone || s.dead.Load() {
 		return
 	}
-	s.poison(fmt.Errorf("netbarrier: client %d disconnected mid-session: %w", c.id, err))
-}
-
-// mustSigma returns the aggregate's σ for log lines.
-func mustSigma(src softbarrier.SigmaSource) float64 {
-	sigma, _ := src.MeasuredSigma()
-	return sigma
+	s.poison(fmt.Errorf("netbarrier: client %d disconnected mid-session: %w", c.id.Load(), err))
 }

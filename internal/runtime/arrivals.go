@@ -1,5 +1,7 @@
 package runtime
 
+import "sync/atomic"
+
 // Arrivals is a set of per-participant arrival counters, one cache-padded
 // atomic slot per participant. It is the shared substrate of the package's
 // stall detection: each participant (or, for a networked barrier, the
@@ -9,49 +11,74 @@ package runtime
 // Snapshot/Scan. The counters are exported so that remote barrier servers
 // can surface "who has arrived how often" without reaching into a
 // barrier's internals.
+//
+// The slot slice sits behind an atomic pointer so an elastic barrier can
+// Resize the participant count at an episode boundary while the watchdog
+// goroutine keeps scanning: readers always see either the old or the new
+// slice, never a torn one.
 type Arrivals struct {
-	slots []PaddedAtomicUint64
+	slots atomic.Pointer[[]PaddedAtomicUint64]
 }
 
 // NewArrivals returns counters for p participants, all zero.
 func NewArrivals(p int) *Arrivals {
-	return &Arrivals{slots: make([]PaddedAtomicUint64, p)}
+	a := &Arrivals{}
+	s := make([]PaddedAtomicUint64, p)
+	a.slots.Store(&s)
+	return a
+}
+
+// Resize replaces the counters with p fresh zeroed slots. It must run at a
+// quiescent point (no participant between Note calls for the same
+// episode); all counts restart from zero so a concurrent Scan sees a
+// uniform baseline rather than phantom laggards.
+func (a *Arrivals) Resize(p int) {
+	s := make([]PaddedAtomicUint64, p)
+	a.slots.Store(&s)
 }
 
 // Len returns the number of participants.
-func (a *Arrivals) Len() int { return len(a.slots) }
+func (a *Arrivals) Len() int { return len(*a.slots.Load()) }
 
 // Note records one arrival of participant id. Each id's slot is written by
 // its owner only; Note is safe against concurrent readers.
-func (a *Arrivals) Note(id int) { a.slots[id].V.Add(1) }
+func (a *Arrivals) Note(id int) { (*a.slots.Load())[id].V.Add(1) }
 
 // Count returns participant id's arrival count.
-func (a *Arrivals) Count(id int) uint64 { return a.slots[id].V.Load() }
+func (a *Arrivals) Count(id int) uint64 { return (*a.slots.Load())[id].V.Load() }
 
 // Snapshot copies the current counts into dst, which is grown as needed,
 // and returns it. Pass a reused buffer to avoid per-call allocation.
 func (a *Arrivals) Snapshot(dst []uint64) []uint64 {
-	if cap(dst) < len(a.slots) {
-		dst = make([]uint64, len(a.slots))
+	slots := *a.slots.Load()
+	if cap(dst) < len(slots) {
+		dst = make([]uint64, len(slots))
 	}
-	dst = dst[:len(a.slots)]
-	for i := range a.slots {
-		dst[i] = a.slots[i].V.Load()
+	dst = dst[:len(slots)]
+	for i := range slots {
+		dst[i] = slots[i].V.Load()
 	}
 	return dst
 }
 
-// Scan snapshots the counters into prev (overwriting it) and classifies
-// the step since prev's previous contents: changed reports whether any
-// counter moved, equal whether all counters now agree. A watchdog treats
-// "changed" as progress and "equal" as quiescence between episodes; a scan
-// that is neither — frozen while unequal — is a stalled episode. prev must
-// have length Len.
-func (a *Arrivals) Scan(prev []uint64) (changed, equal bool) {
-	equal = true
+// Scan snapshots the counters and classifies the step since prev (a
+// snapshot from an earlier Scan; nil on the first call): changed reports
+// whether any counter moved, equal whether all counters now agree. A
+// watchdog treats "changed" as progress and "equal" as quiescence between
+// episodes; a scan that is neither — frozen while unequal — is a stalled
+// episode. The returned slice holds the new snapshot and must be passed to
+// the next Scan. A Resize between scans changes the slot count; Scan then
+// reallocates and reports progress, restarting the watchdog's clock for
+// the new epoch.
+func (a *Arrivals) Scan(prev []uint64) (next []uint64, changed, equal bool) {
+	slots := *a.slots.Load()
+	if len(prev) != len(slots) {
+		prev = make([]uint64, len(slots))
+		changed = true // membership changed: that is progress
+	}
 	hi, lo := uint64(0), ^uint64(0)
-	for i := range a.slots {
-		v := a.slots[i].V.Load()
+	for i := range slots {
+		v := slots[i].V.Load()
 		if v != prev[i] {
 			changed = true
 		}
@@ -64,13 +91,14 @@ func (a *Arrivals) Scan(prev []uint64) (changed, equal bool) {
 		}
 	}
 	equal = hi == lo
-	return changed, equal
+	return prev, changed, equal
 }
 
 // Reset zeroes every counter. Only meaningful at a quiescent point.
 func (a *Arrivals) Reset() {
-	for i := range a.slots {
-		a.slots[i].V.Store(0)
+	slots := *a.slots.Load()
+	for i := range slots {
+		slots[i].V.Store(0)
 	}
 }
 

@@ -30,6 +30,11 @@ type EpisodeStats struct {
 	// Degree is the current combining-tree degree (zero for degree-free
 	// barriers such as central, dissemination and tournament).
 	Degree int
+	// Epoch is the barrier's 0-based configuration epoch (reconfigurable
+	// barriers; zero elsewhere). It increments when a rebuild is applied
+	// at the episode's release point, so the emitting episode already ran
+	// the configuration of the *previous* epoch.
+	Epoch uint64
 }
 
 // Observer receives one EpisodeStats per completed episode. Episode is
@@ -48,4 +53,5 @@ type Extra struct {
 	Swaps       uint64
 	Adaptations uint64
 	Degree      int
+	Epoch       uint64
 }

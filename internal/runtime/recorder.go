@@ -48,6 +48,20 @@ func New(p int, obs Observer, clock func() int64, always bool) *Recorder {
 // Active reports whether arrivals are being recorded.
 func (r *Recorder) Active() bool { return r != nil }
 
+// Resize re-buffers the recorder for p participants. It must be called by
+// the releasing participant after Measure and before the episode's
+// release — the only point where both parity buffers are quiescent — so an
+// elastic barrier can change membership without tearing a measurement.
+func (r *Recorder) Resize(p int) {
+	if r == nil || p == r.p {
+		return
+	}
+	r.p = p
+	r.arrivals[0] = make([]PaddedInt64, p)
+	r.arrivals[1] = make([]PaddedInt64, p)
+	r.scratch = make([]float64, p)
+}
+
 // Arrive timestamps participant id's arrival for the given episode. It
 // must be called before the participant contributes to the episode's
 // completion (counter update, flag signal, …) so the releaser's read of
@@ -115,6 +129,7 @@ func (r *Recorder) Emit(m Measurement, ex Extra) {
 		Swaps:        ex.Swaps,
 		Adaptations:  ex.Adaptations,
 		Degree:       ex.Degree,
+		Epoch:        ex.Epoch,
 	})
 }
 

@@ -1,0 +1,100 @@
+package topology
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// Property: interleaving Clone with legal Swaps — on the original and on
+// any clone, in any order — keeps every tree in the resulting family
+// valid, and no swap applied to one tree leaks into another. This is the
+// exact usage pattern of the reconfiguration core, which clones the
+// current epoch's tree, mutates the clone, and publishes it while waiters
+// still traverse the original.
+func TestCloneSwapSequencePreservesValidity(t *testing.T) {
+	bases := []func() *Tree{
+		func() *Tree { return NewMCS(96, 4) },
+		func() *Tree { return NewClassic(64, 8) },
+		func() *Tree { return NewRing([]int{5, 4, 3}, 3) },
+	}
+	f := func(base uint8, ops []uint16) bool {
+		family := []*Tree{bases[int(base)%len(bases)]()}
+		for _, op := range ops {
+			tr := family[int(op>>13)%len(family)]
+			if op%5 == 0 && len(family) < 8 {
+				family = append(family, tr.Clone())
+				continue
+			}
+			victor := int(op) % tr.P
+			target := int(op>>3) % tr.NumCounters()
+			if tr.CanSwap(victor, target) {
+				tr.Swap(victor, target)
+			}
+		}
+		for _, tr := range family {
+			if tr.Validate() != nil {
+				return false
+			}
+		}
+		// Clones must be independent: trees in the family may have diverged,
+		// but each one individually still satisfies every invariant (checked
+		// above); cross-leakage would corrupt first/ringOf maps and fail
+		// Validate on the victim.
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzNewRing feeds adversarial ring-size lists — empty, zero, negative,
+// undersized first rings, and byte patterns decoding to huge values — and
+// asserts the constructor is total: invalid inputs panic with a
+// diagnostic (never an index error deeper in), and every accepted input
+// yields a tree that passes Validate with the advertised processor count.
+func FuzzNewRing(f *testing.F) {
+	f.Add([]byte{0, 4, 0, 3}, uint8(4))       // healthy two-ring layout
+	f.Add([]byte{}, uint8(2))                 // no rings
+	f.Add([]byte{0, 0}, uint8(3))             // zero-size ring
+	f.Add([]byte{0xff, 0xff}, uint8(3))       // negative ring size
+	f.Add([]byte{0, 1, 0, 9}, uint8(2))       // first ring too small to staff the merge root
+	f.Add([]byte{0x7f, 0xff, 0, 2}, uint8(5)) // huge first ring
+	f.Fuzz(func(t *testing.T, data []byte, dRaw uint8) {
+		d := int(dRaw%30) + 2
+		sizes := make([]int, 0, len(data)/2)
+		total := 0
+		for i := 0; i+1 < len(data); i += 2 {
+			s := int(int16(binary.BigEndian.Uint16(data[i:])))
+			sizes = append(sizes, s)
+			if s > 0 {
+				total += s
+			}
+		}
+		if total > 1<<12 {
+			t.Skip("tree larger than the fuzz budget")
+		}
+		wantPanic := len(sizes) == 0 || (len(sizes) > 1 && sizes[0] < 2)
+		for _, s := range sizes {
+			if s < 1 {
+				wantPanic = true
+			}
+		}
+		defer func() {
+			r := recover()
+			if wantPanic && r == nil {
+				t.Errorf("NewRing(%v, %d) accepted invalid ring sizes", sizes, d)
+			}
+			if !wantPanic && r != nil {
+				t.Errorf("NewRing(%v, %d) panicked on valid input: %v", sizes, d, r)
+			}
+		}()
+		tr := NewRing(sizes, d)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("NewRing(%v, %d) built an invalid tree: %v", sizes, d, err)
+		}
+		if tr.P != total {
+			t.Errorf("NewRing(%v, %d).P = %d, want %d", sizes, d, tr.P, total)
+		}
+	})
+}

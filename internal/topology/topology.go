@@ -323,6 +323,20 @@ func NewRing(ringSizes []int, d int) *Tree {
 		t.Levels = maxLevel + 1
 		return t
 	}
+	// Rings of different sizes build subtrees of different depths, but the
+	// merge root must sit exactly one level above every ring root. Lift each
+	// shallow ring's counters uniformly so all ring roots land on maxLevel;
+	// a uniform shift preserves the ring-internal parent/child level chain,
+	// and nothing reads a counter's absolute level except that chain.
+	for ring, r := range ringRoots {
+		if delta := maxLevel - t.Counters[r].Level; delta > 0 {
+			for i := range t.Counters {
+				if t.Counters[i].RingID == ring {
+					t.Counters[i].Level += delta
+				}
+			}
+		}
+	}
 	rootLocal := ringSizes[0] - 1 // the spared last processor of ring 0
 	root := Counter{
 		ID:     len(t.Counters),

@@ -71,6 +71,12 @@ func (c *poisonCore) initPoison(p int, watchdog time.Duration, notify func(error
 // noteArrive records participant id's arrival for the watchdog.
 func (c *poisonCore) noteArrive(id int) { c.arrived.Note(id) }
 
+// resizeArrivals re-sizes the watchdog's counters for a membership change.
+// It must run at the quiescent release point, like every other epoch
+// application step; the counters restart from zero and the watchdog's
+// next Scan observes the length change as progress.
+func (c *poisonCore) resizeArrivals(p int) { c.arrived.Resize(p) }
+
 // Arrivals returns a snapshot of the per-participant arrival counters:
 // element id is how many episodes participant id has arrived at since
 // construction (or the last Reset). It is the hook a remote coordinator
@@ -159,7 +165,7 @@ func (c *poisonCore) runWatchdog(d time.Duration) {
 	}
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
-	prev := make([]uint64, c.arrived.Len())
+	var prev []uint64
 	last := time.Now() // when progress (or quiescence) was last observed
 	for {
 		select {
@@ -171,7 +177,8 @@ func (c *poisonCore) runWatchdog(d time.Duration) {
 			last = time.Now()
 			continue
 		}
-		changed, equal := c.arrived.Scan(prev)
+		var changed, equal bool
+		prev, changed, equal = c.arrived.Scan(prev)
 		if changed || equal {
 			last = time.Now()
 			continue

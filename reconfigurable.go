@@ -1,0 +1,348 @@
+package softbarrier
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+
+	"softbarrier/internal/reconfig"
+	rt "softbarrier/internal/runtime"
+	"softbarrier/internal/topology"
+)
+
+// ReconfigurableBarrier is a combining-tree barrier whose configuration —
+// tree degree and participant count — is an epoch managed by the shared
+// internal/reconfig controller. Every episode the releasing participant
+// folds the measured arrival spread into the EWMA σ estimate; on the
+// replan cadence (and immediately when a membership change is pending)
+// the controller derives a new Plan from the analytic model
+// (OptimalDegree) with hysteresis, and the releaser applies it at the
+// episode's quiescent point, before opening the release gate. This is the
+// run-time degree adaptation the paper's conclusion proposes, extended to
+// elastic membership: Grow/Shrink/RequestResize queue a participant-count
+// change that lands at the next episode boundary, and Resize applies one
+// immediately when the caller knows the barrier is idle.
+//
+// Elastic protocol, from a worker's point of view: a worker that may be
+// shrunk away checks Participants after each Wait returns and stops when
+// its id falls outside the membership (the swap is published before the
+// release that wakes it, so the check is race-free). A newly grown worker
+// waits until Participants covers its id and then calls Wait; Arrive
+// internally holds it until the admitting epoch's release has happened, so
+// it can never contribute to — or slip past — an episode of the epoch
+// before it existed.
+type ReconfigurableBarrier struct {
+	tc float64
+
+	gate  rt.Gate
+	state atomic.Pointer[rcState] // replaced only at quiescent points
+
+	ctrl *reconfig.Controller
+	est  rt.SigmaEstimator // EWMA of per-episode arrival spread, seconds
+	rec  *rt.Recorder      // always active: the control loop needs the spreads
+	poisonCore
+}
+
+// rcState is one epoch's rebuildable configuration: the topology, its
+// counters, and the per-participant generation slots.
+type rcState struct {
+	p        int
+	degree   int
+	epoch    uint64
+	epochGen uint64 // gate generation at which this epoch becomes active
+	tree     *topology.Tree
+	counters []treeCounter
+	// myGen holds each participant's episode generation. It only ever
+	// grows across epochs (shrunk ids keep their slot so their final
+	// Await still reads a valid generation while they drain out).
+	myGen []rt.PaddedUint64
+}
+
+// ReconfigConfig tunes a ReconfigurableBarrier's replan cadence,
+// hysteresis and model inputs. The zero value re-plans every episode with
+// no hysteresis, starting at degree 4 with the paper's 20µs counter cost.
+type ReconfigConfig struct {
+	// ReplanEvery is how many episodes pass between degree
+	// re-evaluations; 0 means every episode.
+	ReplanEvery int
+	// MinEpisodesBetween defers degree-only rebuilds until at least this
+	// many episodes have passed since the last one; 0 disables the floor.
+	// Membership changes are never deferred.
+	MinEpisodesBetween int
+	// MinDegreeDelta suppresses rebuilds whose recommended degree moved
+	// by less than this; 0 means any change rebuilds.
+	MinDegreeDelta int
+	// Tc is the assumed counter update cost fed to the model, seconds;
+	// 0 selects the paper's 20µs.
+	Tc float64
+	// InitialSigma is the arrival spread assumed before any episode has
+	// been measured, seconds.
+	InitialSigma float64
+	// InitialDegree is the starting tree degree; 0 selects 4 (the
+	// classic simultaneous-arrival optimum).
+	InitialDegree int
+}
+
+// ReconfigStats is the unified reconfiguration telemetry every elastic
+// barrier exposes — the in-process ReconfigurableBarrier and the
+// netbarrier sessions report the same shape.
+type ReconfigStats = reconfig.Stats
+
+// ReconfigPlan is one epoch's configuration as planned by the controller.
+type ReconfigPlan = reconfig.Plan
+
+// Resizable is a barrier whose participant count can be changed at a
+// quiescent point.
+type Resizable interface {
+	Participants() int
+	Resize(p int) error
+}
+
+// NewReconfigurable returns an elastic adaptive barrier for p initial
+// participants.
+func NewReconfigurable(p int, cfg ReconfigConfig, opts ...Option) *ReconfigurableBarrier {
+	if p < 1 {
+		panic("softbarrier: need at least one participant")
+	}
+	if cfg.ReplanEvery < 0 {
+		panic("softbarrier: negative replan cadence")
+	}
+	if cfg.Tc == 0 {
+		cfg.Tc = 20e-6
+	}
+	if cfg.Tc < 0 {
+		panic("softbarrier: negative counter update cost")
+	}
+	if cfg.InitialDegree == 0 {
+		cfg.InitialDegree = 4
+	}
+	if cfg.InitialDegree < 2 {
+		panic("softbarrier: tree degree must be ≥ 2")
+	}
+	o := applyOptions(opts)
+	b := &ReconfigurableBarrier{tc: cfg.Tc}
+	b.gate.Init(o.policy)
+	b.rec = o.recorder(p, true)
+	b.est.Init(rt.DefaultSigmaWeight)
+	b.ctrl = reconfig.New(
+		reconfig.Config{
+			ReplanEvery:        uint64(cfg.ReplanEvery),
+			MinEpisodesBetween: uint64(cfg.MinEpisodesBetween),
+			MinDegreeDelta:     cfg.MinDegreeDelta,
+			InitialSigma:       cfg.InitialSigma,
+		},
+		&b.est,
+		func(p int, sigma float64) (int, bool) { return OptimalDegree(p, sigma, b.tc), false },
+		reconfig.Plan{P: p, Degree: cfg.InitialDegree},
+	)
+	b.state.Store(newRCState(nil, b.ctrl.Current(), 0))
+	b.initPoison(p, o.watchdog, o.poisonNotify,
+		func() { b.gate.Poison() },
+		func() {
+			st := b.state.Load()
+			for i := range st.counters {
+				c := &st.counters[i]
+				c.mu.Lock()
+				c.count = 0
+				c.mu.Unlock()
+			}
+			b.gate.Unpoison()
+		})
+	return b
+}
+
+// newRCState builds the epoch described by plan, carrying forward the
+// generation slots of prev (nil for the initial epoch). epochGen is the
+// gate generation at which the epoch's first episode runs.
+func newRCState(prev *rcState, plan reconfig.Plan, epochGen uint64) *rcState {
+	tree := topology.NewClassic(plan.P, plan.Degree)
+	st := &rcState{
+		p:        plan.P,
+		degree:   plan.Degree,
+		epoch:    plan.Epoch,
+		epochGen: epochGen,
+		tree:     tree,
+		counters: make([]treeCounter, len(tree.Counters)),
+	}
+	for i := range st.counters {
+		st.counters[i].fanIn = tree.Counters[i].FanIn()
+	}
+	n := plan.P
+	if prev != nil && len(prev.myGen) > n {
+		n = len(prev.myGen)
+	}
+	st.myGen = make([]rt.PaddedUint64, n)
+	if prev != nil {
+		copy(st.myGen, prev.myGen)
+	}
+	return st
+}
+
+// Participants returns the current epoch's participant count. It reflects
+// a committed membership change as soon as the changing episode's release
+// is published, so a worker observing its id outside [0, Participants)
+// after Wait returns has been shrunk away and must stop calling Wait.
+func (b *ReconfigurableBarrier) Participants() int { return b.state.Load().p }
+
+// Degree returns the current tree degree.
+func (b *ReconfigurableBarrier) Degree() int { return b.state.Load().degree }
+
+// Epoch returns the 0-based configuration epoch.
+func (b *ReconfigurableBarrier) Epoch() uint64 { return b.state.Load().epoch }
+
+// Sigma returns the current arrival-spread estimate in seconds.
+func (b *ReconfigurableBarrier) Sigma() float64 { return b.est.Sigma() }
+
+// MeasuredSigma implements SigmaSource: the live σ estimate and the number
+// of episodes it is based on, for feeding back into the planner.
+func (b *ReconfigurableBarrier) MeasuredSigma() (sigma float64, episodes uint64) {
+	return b.est.Sigma(), b.est.Episodes()
+}
+
+// Adaptations returns how many times the barrier has rebuilt its tree.
+func (b *ReconfigurableBarrier) Adaptations() uint64 { return b.ctrl.Rebuilds() }
+
+// ReconfigStats returns the unified reconfiguration telemetry: epoch and
+// rebuild counts plus the last committed plan (σ at plan time included).
+func (b *ReconfigurableBarrier) ReconfigStats() ReconfigStats { return b.ctrl.Stats() }
+
+// Resize changes the participant count immediately. It may only be called
+// at a quiescent point — no Wait/Arrive/Await in flight — exactly like
+// Reset; use Grow/Shrink/RequestResize to change membership while the
+// barrier is running.
+func (b *ReconfigurableBarrier) Resize(p int) error {
+	plan, err := b.ctrl.PlanResize(p)
+	if err != nil {
+		return err
+	}
+	// The new epoch is active right away: the gate generation does not
+	// move at a quiescent Resize.
+	b.apply(b.state.Load(), plan, b.gate.Seq())
+	return nil
+}
+
+// RequestResize queues a membership change to p participants; the change
+// is applied at the next episode boundary. Safe from any goroutine; the
+// last request before the boundary wins.
+func (b *ReconfigurableBarrier) RequestResize(p int) error { return b.ctrl.RequestP(p) }
+
+// Grow queues the admission of n more participants at the next episode
+// boundary and returns the resulting membership target. The new ids are
+// the target's top n; a new worker must wait until Participants covers its
+// id before its first Wait.
+func (b *ReconfigurableBarrier) Grow(n int) (int, error) { return b.ctrl.RequestDelta(n) }
+
+// Shrink queues the removal of the top n participant ids at the next
+// episode boundary and returns the resulting membership target. Shrunk
+// workers observe their removal when Wait returns with Participants no
+// longer covering their id.
+func (b *ReconfigurableBarrier) Shrink(n int) (int, error) { return b.ctrl.RequestDelta(-n) }
+
+// Wait blocks until all participants arrive.
+func (b *ReconfigurableBarrier) Wait(id int) {
+	b.Arrive(id)
+	b.Await(id)
+}
+
+// Arrive records the arrival time and performs the counter ascent,
+// re-planning and releasing the episode if id completes the root. On a
+// poisoned barrier it is a no-op, as it is for an id the current epoch has
+// shrunk away (such a participant is draining out and must not touch the
+// counters).
+func (b *ReconfigurableBarrier) Arrive(id int) {
+	st := b.state.Load()
+	checkID(id, len(st.myGen))
+	if id >= st.p {
+		return // shrunk away; drain without contributing
+	}
+	// A freshly grown participant can observe the new epoch (Participants
+	// covers it) before the admitting episode's release has opened the
+	// gate. Entering then would stamp the old generation and unblock on
+	// the wrong release, so hold until the epoch is active.
+	for b.gate.Seq() < st.epochGen {
+		if b.poisoned() {
+			return
+		}
+		runtime.Gosched()
+	}
+	if b.poisoned() {
+		return
+	}
+	b.noteArrive(id)
+	gen := b.gate.Seq()
+	b.rec.Arrive(id, gen)
+	st.myGen[id].V = gen
+
+	c := st.tree.FirstCounter(id)
+	for c != topology.NoCounter {
+		tc := &st.counters[c]
+		tc.mu.Lock()
+		tc.count++
+		last := tc.count == tc.fanIn
+		if last {
+			tc.count = 0
+		}
+		tc.mu.Unlock()
+		if !last {
+			return
+		}
+		c = st.tree.Counters[c].Parent
+	}
+	b.release(st)
+}
+
+// release runs on the participant that completed the root: a quiescent
+// point for the counters. It folds the measured spread into the σ
+// estimate, asks the controller whether a new epoch is due, applies the
+// plan if so, emits the episode's telemetry, and opens the gate.
+func (b *ReconfigurableBarrier) release(st *rcState) {
+	seq := b.gate.Seq()
+	m, _ := b.rec.Measure(seq)
+	b.ctrl.Observe(m.Spread)
+	if plan, ok := b.ctrl.Evaluate(); ok {
+		// The new epoch's first episode runs at the generation the Open
+		// below advances to.
+		b.apply(st, plan, seq+1)
+	}
+	cur := b.state.Load()
+	b.rec.Emit(m, rt.Extra{Adaptations: b.ctrl.Rebuilds(), Degree: cur.degree, Epoch: cur.epoch})
+	b.gate.Open()
+}
+
+// apply installs plan as the running epoch. It must run at a quiescent
+// point: the release path, or a caller-synchronized Resize.
+func (b *ReconfigurableBarrier) apply(prev *rcState, plan reconfig.Plan, epochGen uint64) {
+	next := newRCState(prev, plan, epochGen)
+	if plan.P != prev.p {
+		b.rec.Resize(plan.P)
+		b.resizeArrivals(plan.P)
+	}
+	b.state.Store(next)
+	b.ctrl.Commit(plan)
+}
+
+// Await blocks participant id until the episode it arrived in completes
+// or the barrier is poisoned.
+func (b *ReconfigurableBarrier) Await(id int) {
+	st := b.state.Load()
+	checkID(id, len(st.myGen))
+	b.gate.Await(st.myGen[id].V)
+}
+
+// WaitCtx is Wait with cancellation: if ctx ends while the wait is in
+// flight the barrier is poisoned, and the poison error is returned.
+func (b *ReconfigurableBarrier) WaitCtx(ctx context.Context, id int) error {
+	checkID(id, len(b.state.Load().myGen))
+	return b.waitCtx(ctx, func() { b.Wait(id) })
+}
+
+// AwaitCtx is Await with cancellation, with WaitCtx's poison semantics.
+func (b *ReconfigurableBarrier) AwaitCtx(ctx context.Context, id int) error {
+	checkID(id, len(b.state.Load().myGen))
+	return b.waitCtx(ctx, func() { b.Await(id) })
+}
+
+var _ PhasedBarrier = (*ReconfigurableBarrier)(nil)
+var _ ContextBarrier = (*ReconfigurableBarrier)(nil)
+var _ Resizable = (*ReconfigurableBarrier)(nil)
+var _ SigmaSource = (*ReconfigurableBarrier)(nil)
