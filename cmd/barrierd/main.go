@@ -7,11 +7,19 @@
 //
 //	barrierd [-listen 127.0.0.1:7643] [-watchdog 10s] [-replan 10]
 //	         [-dynamic] [-elastic] [-tc SECONDS] [-sigma SECONDS]
+//	         [-collective OP]
 //
 // With -elastic, session membership may change between episodes: joins
 // against a full session are parked and admitted at the next episode
 // boundary, and a Leave shrinks the cohort at the next boundary instead
 // of retiring the session only when everyone has left.
+//
+// With -collective, every session is an AllReduce: arrivals may carry
+// contributions (clients use ArriveReduce/AllReduce), releases carry the
+// folded result, and payload-less arrivals contribute the op's identity.
+// OP names a built-in softbarrier op — sum-u64, min-u64, max-u64,
+// xor-u64, or sum-f64 — and clients must agree on it out-of-band (ops
+// are code; only their names travel).
 //
 // The daemon serves until SIGINT or SIGTERM, then poisons every live
 // session (members receive a "server closed" cause instead of a hang)
@@ -37,7 +45,10 @@ func main() {
 
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("barrierd: ")
-	opt := nf.Options()
+	opt, err := nf.Options()
+	if err != nil {
+		log.Fatal(err)
+	}
 	opt.Logf = log.Printf
 
 	ln, err := net.Listen("tcp", nf.Listen)
@@ -54,8 +65,12 @@ func main() {
 		srv.Close()
 	}()
 
-	log.Printf("listening on %s (watchdog %v, replan every %d episodes, dynamic %v, elastic %v)",
-		ln.Addr(), opt.Watchdog, opt.ReplanEvery, opt.Dynamic, opt.Elastic)
+	coll := "none"
+	if opt.Op != nil {
+		coll = opt.Op.Name
+	}
+	log.Printf("listening on %s (watchdog %v, replan every %d episodes, dynamic %v, elastic %v, collective %s)",
+		ln.Addr(), opt.Watchdog, opt.ReplanEvery, opt.Dynamic, opt.Elastic, coll)
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, netbarrier.ErrServerClosed) {
 		log.Fatal(err)
 	}

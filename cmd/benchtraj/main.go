@@ -1,0 +1,149 @@
+// Command benchtraj records the repo's performance trajectory: it runs
+// the hot-path benchmark suite (in-process barrier episodes, loopback
+// netbarrier at 2/8/64 clients, netbarrier AllReduce at 8/64) via
+// `go test -bench` and writes the parsed results as BENCH_<n>.json, one
+// file per PR. Future PRs regenerate with the next -n and diff against
+// the committed history, so perf claims land as measured before/afters
+// (ROADMAP item 3).
+//
+// Run it from the repository root:
+//
+//	benchtraj -n 6              # writes BENCH_6.json
+//	benchtraj -n 7 -benchtime 1000x -out -
+//
+// Numbers are host-dependent; the trajectory is meaningful within one
+// host (CI runs on one runner class), not across machines. The JSON
+// records GOMAXPROCS and the Go version so a host change is visible.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// suite is the fixed benchmark set every BENCH_<n>.json covers. Adding a
+// benchmark here grows the trajectory for all future PRs; removing one
+// breaks the diff chain, so don't.
+var suite = []struct {
+	Pkg   string // package path relative to the module root
+	Bench string // -bench regex
+}{
+	{".", "BenchmarkWaiterPolicies|BenchmarkRuntimeBarriers"},
+	{"./internal/netbarrier", "BenchmarkNetBarrier|BenchmarkNetAllReduce"},
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"` // package-qualified: internal/netbarrier.BenchmarkNetBarrier/clients-64
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int    `json:"b_per_op,omitempty"`
+	AllocsPerOp *int    `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches go test's benchmark output, with the optional
+// -benchmem columns:
+//
+//	BenchmarkFoo/bar-8   300   1234 ns/op   16 B/op   2 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+// parseBench extracts the Results from one `go test -bench` run's output,
+// qualifying names with pkg.
+func parseBench(pkg string, out []byte) ([]Result, error) {
+	var rs []Result
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("benchtraj: bad iteration count in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchtraj: bad ns/op in %q: %v", line, err)
+		}
+		r := Result{Name: strings.TrimPrefix(pkg+"/", "./") + m[1], Iters: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, _ := strconv.Atoi(m[4])
+			a, _ := strconv.Atoi(m[5])
+			r.BytesPerOp, r.AllocsPerOp = &b, &a
+		}
+		rs = append(rs, r)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("benchtraj: no benchmark lines in output:\n%s", out)
+	}
+	return rs, nil
+}
+
+func main() {
+	var (
+		n         = flag.Int("n", 0, "PR number; output defaults to BENCH_<n>.json")
+		benchtime = flag.String("benchtime", "300x", "go test -benchtime value (a fixed count keeps runs comparable)")
+		out       = flag.String("out", "", `output path ("-" for stdout; default BENCH_<n>.json)`)
+	)
+	flag.Parse()
+	if *n == 0 && *out == "" {
+		fmt.Fprintln(os.Stderr, "benchtraj: -n (or -out) is required")
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%d.json", *n)
+	}
+
+	var results []Result
+	for _, s := range suite {
+		fmt.Fprintf(os.Stderr, "benchtraj: %s -bench '%s' -benchtime %s\n", s.Pkg, s.Bench, *benchtime)
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", s.Bench,
+			"-benchtime", *benchtime, "-benchmem", s.Pkg)
+		raw, err := cmd.CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtraj: %s failed: %v\n%s", s.Pkg, err, raw)
+			os.Exit(1)
+		}
+		rs, err := parseBench(s.Pkg, raw)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = append(results, rs...)
+	}
+
+	doc := map[string]any{
+		"pr":         *n,
+		"generated":  time.Now().UTC().Format(time.RFC3339),
+		"go":         runtime.Version(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"benchtime":  *benchtime,
+		"results":    results,
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "benchtraj: %d results -> %s\n", len(results), *out)
+	}
+}

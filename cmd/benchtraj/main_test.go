@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: softbarrier/internal/netbarrier
+BenchmarkNetBarrier/clients-2          	     300	     24408 ns/op	     512 B/op	      12 allocs/op
+BenchmarkNetBarrier/clients-64         	     300	    569327.5 ns/op
+PASS
+ok  	softbarrier/internal/netbarrier	1.2s
+`
+
+func TestParseBench(t *testing.T) {
+	rs, err := parseBench("./internal/netbarrier", []byte(sampleOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(rs))
+	}
+	r := rs[0]
+	if r.Name != "internal/netbarrier/BenchmarkNetBarrier/clients-2" ||
+		r.Iters != 300 || r.NsPerOp != 24408 {
+		t.Fatalf("first result = %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 512 || *r.AllocsPerOp != 12 {
+		t.Fatalf("benchmem columns not parsed: %+v", r)
+	}
+	if rs[1].NsPerOp != 569327.5 || rs[1].BytesPerOp != nil {
+		t.Fatalf("second result = %+v", rs[1])
+	}
+	if rs[1].Name != "internal/netbarrier/BenchmarkNetBarrier/clients-64" {
+		t.Fatalf("name = %q", rs[1].Name)
+	}
+
+	if _, err := parseBench(".", []byte("PASS\nok softbarrier 0.1s\n")); err == nil {
+		t.Fatal("no benchmark lines must error")
+	}
+
+	rs, err = parseBench(".", []byte("BenchmarkEq1-4   100   11.5 ns/op\n"))
+	if err != nil || len(rs) != 1 || rs[0].Name != "BenchmarkEq1-4" {
+		t.Fatalf("root-package result = %+v, err %v", rs, err)
+	}
+}

@@ -73,18 +73,29 @@ func (m multiObserver) Episode(st softbarrier.EpisodeStats) {
 
 func main() {
 	var (
-		p       = flag.Int("p", 8, "number of worker goroutines")
-		dx      = flag.Int("dx", 60, "grid rows per worker")
-		dy      = flag.Int("dy", 210, "grid columns")
-		iters   = flag.Int("iters", 200, "relaxation iterations")
-		barrier = flag.String("barrier", "tree", "barrier: central | tree | mcs | dynamic | adaptive | dissemination | tournament")
-		degree  = flag.Int("degree", 4, "tree degree for tree-based barriers")
-		method  = flag.String("method", "jacobi", "relaxation method: jacobi (the paper's two-array sweep) | sor (red/black over-relaxation, ω*)")
-		stats   = flag.String("stats", "", "dump per-episode barrier telemetry as JSON to this file (\"-\" for stdout)")
+		p        = flag.Int("p", 8, "number of worker goroutines")
+		dx       = flag.Int("dx", 60, "grid rows per worker")
+		dy       = flag.Int("dy", 210, "grid columns")
+		iters    = flag.Int("iters", 200, "relaxation iterations")
+		barrier  = flag.String("barrier", "tree", "barrier: central | tree | mcs | dynamic | adaptive | dissemination | tournament")
+		degree   = flag.Int("degree", 4, "tree degree for tree-based barriers")
+		method   = flag.String("method", "jacobi", "relaxation method: jacobi (the paper's two-array sweep) | sor (red/black over-relaxation, ω*)")
+		stats    = flag.String("stats", "", "dump per-episode barrier telemetry as JSON to this file (\"-\" for stdout)")
+		eps      = flag.Float64("eps", 0, "run -method sor to this RMS residual instead of a fixed sweep count (-iters caps it); the residual is folded through the barrier's AllReduce")
+		chkEvery = flag.Int("check-every", 10, "sweeps between residual convergence checks when -eps is set")
 	)
 	flag.Parse()
 
+	if *eps > 0 && *method != "sor" {
+		fmt.Fprintln(os.Stderr, "-eps requires -method sor")
+		os.Exit(2)
+	}
+
 	var opts []softbarrier.Option
+	if *eps > 0 {
+		// The convergence test is a sum-f64 AllReduce riding the barrier.
+		opts = append(opts, softbarrier.WithCollective(softbarrier.OpSumFloat64()))
+	}
 	log := &episodeLog{}
 	agg := softbarrier.NewAggregate()
 	if *stats != "" {
@@ -136,12 +147,42 @@ func main() {
 	case "sor":
 		omega := sor.OmegaOpt(nx-2, *dy)
 		fmt.Printf("red/black SOR with ω* = %.4f\n", omega)
-		seqStart := time.Now()
-		ref.SolveSORSeq(omega, *iters)
-		seqTime = time.Since(seqStart)
-		parStart := time.Now()
-		g.SolveSORPar(*p, omega, *iters, b)
-		parTime = time.Since(parStart)
+		if *eps > 0 {
+			cb, ok := b.(sor.ConvergeBarrier)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "barrier %q cannot carry the residual AllReduce; use tree, mcs, dynamic or adaptive\n", *barrier)
+				os.Exit(2)
+			}
+			seqStart := time.Now()
+			seqSweeps, seqRMS := ref.SolveSORSeqUntil(omega, *eps, *chkEvery, *iters, *p)
+			seqTime = time.Since(seqStart)
+			parStart := time.Now()
+			parSweeps, parRMS, err := g.SolveSORParUntil(*p, omega, *eps, *chkEvery, *iters, cb)
+			parTime = time.Since(parStart)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parallel solve failed: %v\n", err)
+				os.Exit(1)
+			}
+			if parSweeps != seqSweeps || parRMS != seqRMS {
+				fmt.Fprintf(os.Stderr, "FAIL: parallel converged at sweep %d (RMS %g), sequential at %d (RMS %g)\n",
+					parSweeps, parRMS, seqSweeps, seqRMS)
+				os.Exit(1)
+			}
+			conv := "converged"
+			if parSweeps >= *iters && parRMS > *eps {
+				conv = "gave up"
+			}
+			fmt.Printf("%s at sweep %d, RMS residual %.3g (target %.3g, checked every %d sweeps)\n",
+				conv, parSweeps, parRMS, *eps, *chkEvery)
+			*iters = parSweeps // per-iteration reporting below divides by sweeps run
+		} else {
+			seqStart := time.Now()
+			ref.SolveSORSeq(omega, *iters)
+			seqTime = time.Since(seqStart)
+			parStart := time.Now()
+			g.SolveSORPar(*p, omega, *iters, b)
+			parTime = time.Since(parStart)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
 		os.Exit(2)

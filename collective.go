@@ -1,0 +1,166 @@
+package softbarrier
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	rt "softbarrier/internal/runtime"
+)
+
+// Op is an associative combining operator over fixed-width byte strings:
+// the payload a collective barrier carries. See the field docs on
+// internal/runtime.Op — in particular the Commutative contract, which
+// selects greedy arrival-order folding during the ascent (the σ-aware
+// "pre-reduce early arrivals" policy) versus the deterministic
+// ascending-id fold at the root.
+type Op = rt.Op
+
+// ErrNoCollective is returned by the collective methods of a barrier that
+// was built without WithCollective.
+var ErrNoCollective = errors.New("softbarrier: barrier built without WithCollective")
+
+// Collective is a barrier whose release wave carries data: the reduction
+// of every participant's contribution (AllReduce), delivered to one root
+// (Reduce), or one root's value fanned out to everyone (Broadcast). All
+// three piggyback on the ordinary episode — a collective call is a
+// barrier episode that happens to move Op.Width bytes — and may be mixed
+// freely with plain Wait episodes on the same barrier, as long as all
+// participants make the same call per episode.
+//
+// TreeBarrier, DynamicBarrier and ReconfigurableBarrier implement it when
+// constructed with WithCollective.
+type Collective interface {
+	PhasedBarrier
+	// AllReduce contributes in, waits for the episode, and copies the
+	// reduction of all contributions into out (out may be in).
+	AllReduce(id int, in, out []byte) error
+	// Reduce is AllReduce with the result delivered only to root; other
+	// participants' out is ignored.
+	Reduce(id, root int, in, out []byte) error
+	// Broadcast delivers root's buf to every participant's buf.
+	Broadcast(id, root int, buf []byte) error
+}
+
+// Collective episode modes, threaded through the ascent in the releaser's
+// stack frame: every participant of one episode must use the same mode
+// (the "same call per episode" contract above), so no shared mode state
+// is needed.
+const (
+	collGreedy uint8 = iota + 1 // commutative: fold during the ascent
+	collCells                   // deposit; the releaser folds in id order
+	collBcast                   // root deposits; the releaser selects its cell
+)
+
+// reduceMode picks the reduction path the op's contract allows.
+func reduceMode(op Op) uint8 {
+	if op.Commutative {
+		return collGreedy
+	}
+	return collCells
+}
+
+// checkContribution enforces the contribution-width contract, which is a
+// programming error like a bad participant id.
+func checkContribution(red *rt.Reducer, in []byte) {
+	if len(in) != red.Width() {
+		panic("softbarrier: contribution length does not match the collective op's width")
+	}
+}
+
+// OpSumUint64 returns uint64 addition (big-endian, wrapping): commutative,
+// identity 0.
+func OpSumUint64() Op {
+	return Op{
+		Name: "sum-u64", Width: 8, Commutative: true,
+		Fold: func(dst, src []byte) {
+			binary.BigEndian.PutUint64(dst, binary.BigEndian.Uint64(dst)+binary.BigEndian.Uint64(src))
+		},
+	}
+}
+
+// OpMinUint64 returns the uint64 minimum: commutative, identity MaxUint64.
+func OpMinUint64() Op {
+	ident := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	return Op{
+		Name: "min-u64", Width: 8, Commutative: true, Identity: ident,
+		Fold: func(dst, src []byte) {
+			if binary.BigEndian.Uint64(src) < binary.BigEndian.Uint64(dst) {
+				copy(dst, src)
+			}
+		},
+	}
+}
+
+// OpMaxUint64 returns the uint64 maximum: commutative, identity 0.
+func OpMaxUint64() Op {
+	return Op{
+		Name: "max-u64", Width: 8, Commutative: true,
+		Fold: func(dst, src []byte) {
+			if binary.BigEndian.Uint64(src) > binary.BigEndian.Uint64(dst) {
+				copy(dst, src)
+			}
+		},
+	}
+}
+
+// OpXorUint64 returns uint64 exclusive-or: commutative, identity 0.
+func OpXorUint64() Op {
+	return Op{
+		Name: "xor-u64", Width: 8, Commutative: true,
+		Fold: func(dst, src []byte) {
+			binary.BigEndian.PutUint64(dst, binary.BigEndian.Uint64(dst)^binary.BigEndian.Uint64(src))
+		},
+	}
+}
+
+// OpSumFloat64 returns float64 addition over IEEE-754 bits. It is
+// deliberately not marked Commutative: float addition is not associative,
+// so the deterministic ascending-id fold is used and every episode's
+// result is bit-for-bit the sequential fold — at the cost of skipping the
+// greedy pre-reduce. Identity +0.0.
+func OpSumFloat64() Op {
+	return Op{
+		Name: "sum-f64", Width: 8,
+		Fold: func(dst, src []byte) {
+			v := math.Float64frombits(binary.BigEndian.Uint64(dst)) +
+				math.Float64frombits(binary.BigEndian.Uint64(src))
+			binary.BigEndian.PutUint64(dst, math.Float64bits(v))
+		},
+	}
+}
+
+// builtinOps is the by-name registry OpByName consults. Ops cannot travel
+// the wire (they are code), so a networked session configures the op by
+// name on both sides — cmd/barrierd's -collective flag resolves here.
+var builtinOps = map[string]func() Op{
+	"sum-u64": OpSumUint64,
+	"min-u64": OpMinUint64,
+	"max-u64": OpMaxUint64,
+	"xor-u64": OpXorUint64,
+	"sum-f64": OpSumFloat64,
+}
+
+// OpByName resolves a built-in op by its wire name. It returns false for
+// unknown names; OpNames lists the known ones.
+func OpByName(name string) (Op, bool) {
+	f, ok := builtinOps[name]
+	if !ok {
+		return Op{}, false
+	}
+	return f(), true
+}
+
+// OpNames returns the built-in op names in sorted order.
+func OpNames() []string {
+	names := make([]string, 0, len(builtinOps))
+	for n := range builtinOps {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -58,6 +58,23 @@
 // (healing the barrier afterwards, so the Group stays reusable). Reset,
 // at a quiescent point, returns a poisoned barrier to service.
 //
+// # Collectives
+//
+// WithCollective(op) widens the barrier's waves to carry payloads: the
+// arrival wave reduces every participant's fixed-width contribution with
+// the associative Op and the release wave broadcasts the result —
+// AllReduce, Reduce and Broadcast (the Collective interface) as barrier
+// episodes, freely mixed with plain Wait. Commutative ops fold greedily
+// in arrival order, pre-reducing early arrivals while stragglers still
+// work; non-commutative ops (OpSumFloat64 — float addition does not
+// associate) fold deterministically in ascending id order, so every
+// participant receives the bit-identical sequential fold and can branch
+// on it unanimously. ReduceOrder plus topology.PlaceByDepth place the
+// laggiest participants nearest the root, shortening the straggler's
+// fold path. The same reduction runs server-side in cmd/barrierd
+// (-collective, Client.AllReduce); OpByName names the built-in ops on
+// both sides of the wire.
+//
 // # Choosing a degree
 //
 // OptimalDegree applies the paper's analytic model (§3–4): give it the

@@ -41,6 +41,7 @@ type DynamicBarrier struct {
 
 	swaps atomic.Uint64
 	rec   *rt.Recorder
+	red   *rt.Reducer // payload reducer; nil without WithCollective
 	poisonCore
 }
 
@@ -109,6 +110,7 @@ func NewDynamicFromTree(tree *topology.Tree, opts ...Option) *DynamicBarrier {
 	}
 	b.gate.Init(o.policy)
 	b.rec = o.recorder(tree.P, false)
+	b.red = o.reducer(tree.P, len(tree.Counters))
 	b.initPoison(tree.P, o.watchdog, o.poisonNotify,
 		func() { b.gate.Poison() },
 		func() {
@@ -121,6 +123,9 @@ func NewDynamicFromTree(tree *topology.Tree, opts ...Option) *DynamicBarrier {
 				c.mu.Lock()
 				c.count = 0
 				c.mu.Unlock()
+			}
+			if b.red != nil {
+				b.red.Reset()
 			}
 			b.gate.Unpoison()
 		})
@@ -244,6 +249,188 @@ func (b *DynamicBarrier) ascend(id, c int) {
 	b.gate.Open()
 }
 
+// AllReduce contributes in, completes one episode, and copies the
+// reduction of all p contributions into out — TreeBarrier.AllReduce over
+// the dynamic-placement ascent. Under systemic imbalance the placement
+// migration is itself the σ-aware reduction policy: the consistently late
+// participant ends up adjacent to the root, so its contribution folds
+// last and the post-arrival critical path shrinks to O(1) folds.
+func (b *DynamicBarrier) AllReduce(id int, in, out []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	gen, ok := b.arriveColl(id, in, reduceMode(b.red.Op()), 0)
+	return b.finishColl(id, gen, ok, out)
+}
+
+// Reduce is AllReduce with the result delivered only to root.
+func (b *DynamicBarrier) Reduce(id, root int, in, out []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	checkID(root, b.p)
+	gen, ok := b.arriveColl(id, in, reduceMode(b.red.Op()), 0)
+	if id != root {
+		out = nil
+	}
+	return b.finishColl(id, gen, ok, out)
+}
+
+// Broadcast completes one episode delivering root's buf into every other
+// participant's buf.
+func (b *DynamicBarrier) Broadcast(id, root int, buf []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	checkID(root, b.p)
+	gen, ok := b.arriveColl(id, buf, collBcast, root)
+	if id == root {
+		buf = nil
+	}
+	return b.finishColl(id, gen, ok, buf)
+}
+
+// ArriveReduce is the fuzzy half of AllReduce: contribute and ascend
+// without waiting; collect with AwaitResult.
+func (b *DynamicBarrier) ArriveReduce(id int, in []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	b.arriveColl(id, in, reduceMode(b.red.Op()), 0)
+	return nil
+}
+
+// AwaitResult blocks until ArriveReduce's episode completes and copies
+// its reduction into out (nil discards it).
+func (b *DynamicBarrier) AwaitResult(id int, out []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	checkID(id, b.p)
+	return b.finishColl(id, b.myGen[id].V, true, out)
+}
+
+// Reduced returns the published reduction of the given episode — see
+// TreeBarrier.Reduced.
+func (b *DynamicBarrier) Reduced(episode uint64) []byte {
+	if b.red == nil {
+		return nil
+	}
+	return b.red.Result(episode)
+}
+
+// arriveColl is Arrive carrying a payload; see TreeBarrier.arriveColl.
+func (b *DynamicBarrier) arriveColl(id int, in []byte, mode uint8, root int) (gen uint64, ok bool) {
+	checkID(id, b.p)
+	checkContribution(b.red, in)
+	if b.poisoned() {
+		return 0, false
+	}
+	b.noteArrive(id)
+	gen = b.gate.Seq()
+	b.rec.Arrive(id, gen)
+	b.myGen[id].V = gen
+	switch mode {
+	case collCells:
+		b.red.Deposit(gen, id, in)
+	case collBcast:
+		if id == root {
+			b.red.Deposit(gen, id, in)
+		}
+	}
+
+	// Victim adoption, as in Arrive.
+	fc := int(b.first[id].V)
+	cn := &b.counters[fc]
+	cn.mu.Lock()
+	if cn.evicted == id {
+		cn.evicted = topology.NoProc
+		dest := cn.destination
+		cn.mu.Unlock()
+		nc := &b.counters[dest]
+		nc.mu.Lock()
+		if nc.internal {
+			nc.local = id
+		}
+		nc.mu.Unlock()
+		fc = dest
+		b.first[id].V = uint64(fc)
+	} else {
+		cn.mu.Unlock()
+	}
+
+	var carry []byte
+	if mode == collGreedy {
+		carry = in
+	}
+	b.ascendColl(id, fc, carry, mode, root, gen)
+	return gen, true
+}
+
+// ascendColl is ascend with the payload fold threaded through the swap
+// protocol: the fold shares each counter's critical section, and swaps
+// proceed exactly as in the plain ascent — a greedy carry is attached to
+// the ascending participant, not to a tree position, so migration cannot
+// drop or double-fold a contribution.
+func (b *DynamicBarrier) ascendColl(id, c int, carry []byte, mode uint8, root int, gen uint64) {
+	for c != topology.NoCounter {
+		tc := &b.counters[c]
+		tc.mu.Lock()
+		if mode == collGreedy {
+			b.red.FoldNode(c, carry)
+		}
+		tc.count++
+		last := tc.count == tc.fanIn
+		if last {
+			tc.count = 0
+			if mode == collGreedy {
+				carry = b.red.TakeNode(c)
+			}
+		}
+		tc.mu.Unlock()
+		if !last {
+			return
+		}
+		if fc := int(b.first[id].V); c != fc {
+			tc.mu.Lock()
+			if tc.local != topology.NoProc && tc.ring == b.ringOf[id] {
+				tc.evicted = tc.local
+				tc.destination = fc
+				tc.local = id
+				tc.mu.Unlock()
+				b.first[id].V = uint64(c)
+				b.swaps.Add(1)
+			} else {
+				tc.mu.Unlock()
+			}
+		}
+		c = tc.parent
+	}
+	switch mode {
+	case collGreedy:
+		b.red.PublishCarry(gen, carry)
+	case collCells:
+		b.red.FinishCells(gen, b.p)
+	case collBcast:
+		b.red.PublishCell(gen, root)
+	}
+	b.rec.Release(b.gate.Seq(), rt.Extra{Swaps: b.swaps.Load(), Degree: b.tree.Degree})
+	b.gate.Open()
+}
+
+// finishColl awaits the episode and copies its result out; see
+// TreeBarrier.finishColl.
+func (b *DynamicBarrier) finishColl(id int, gen uint64, contributed bool, out []byte) error {
+	b.Await(id)
+	if err := b.Err(); err != nil {
+		return err
+	}
+	if contributed && out != nil {
+		b.red.CopyResult(gen, out)
+	}
+	return nil
+}
+
 // Await blocks participant id until the episode it arrived in completes
 // or the barrier is poisoned.
 func (b *DynamicBarrier) Await(id int) {
@@ -266,3 +453,4 @@ func (b *DynamicBarrier) AwaitCtx(ctx context.Context, id int) error {
 
 var _ PhasedBarrier = (*DynamicBarrier)(nil)
 var _ ContextBarrier = (*DynamicBarrier)(nil)
+var _ Collective = (*DynamicBarrier)(nil)

@@ -34,7 +34,11 @@ func main() {
 	quiet := flag.Bool("quiet", false, "print only the episodes around a degree change")
 	flag.Parse()
 
-	opt := nf.Options()
+	opt, err := nf.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if nf.Replan == 10 { // demo default: re-plan often enough to see the shift
 		opt.ReplanEvery = 5
 	}

@@ -9,8 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
+	"softbarrier"
 	"softbarrier/internal/barriersim"
 	"softbarrier/internal/netbarrier"
 	"softbarrier/internal/sweep"
@@ -155,6 +157,9 @@ type NetFlags struct {
 	// joiners are parked and admitted at the next boundary, leavers shrink
 	// the cohort instead of stalling it.
 	Elastic bool
+	// Collective names a built-in reduction op (softbarrier.OpByName);
+	// "" serves plain barrier sessions.
+	Collective string
 	// Tc is the model's counter-update cost in seconds; 0 = the paper's 20µs.
 	Tc float64
 	// Sigma is the arrival spread assumed before any episode is measured.
@@ -171,13 +176,16 @@ func AddNetFlags() *NetFlags {
 	flag.BoolVar(&f.Elastic, "elastic", false, "elastic sessions: admit joins and absorb leaves at episode boundaries")
 	flag.Float64Var(&f.Tc, "tc", 0, "model counter-update cost in seconds (0 = 20µs)")
 	flag.Float64Var(&f.Sigma, "sigma", 0, "assumed arrival spread in seconds before measurement")
+	flag.StringVar(&f.Collective, "collective", "",
+		"serve collective sessions folding contributions with this op, one of: "+strings.Join(softbarrier.OpNames(), ", "))
 	return f
 }
 
 // Options maps the flags onto a netbarrier server configuration. Logf is
-// left nil; callers wire their own logger.
-func (f *NetFlags) Options() netbarrier.Options {
-	return netbarrier.Options{
+// left nil; callers wire their own logger. It errors on an unknown
+// -collective op name, listing the valid ones.
+func (f *NetFlags) Options() (netbarrier.Options, error) {
+	opt := netbarrier.Options{
 		Watchdog:     f.Watchdog,
 		ReplanEvery:  f.Replan,
 		Dynamic:      f.Dynamic,
@@ -185,4 +193,12 @@ func (f *NetFlags) Options() netbarrier.Options {
 		Tc:           f.Tc,
 		InitialSigma: f.Sigma,
 	}
+	if f.Collective != "" {
+		op, ok := softbarrier.OpByName(f.Collective)
+		if !ok {
+			return opt, fmt.Errorf("unknown collective op %q (have: %s)", f.Collective, strings.Join(softbarrier.OpNames(), ", "))
+		}
+		opt.Op = &op
+	}
+	return opt, nil
 }

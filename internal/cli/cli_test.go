@@ -94,12 +94,32 @@ func TestDur(t *testing.T) {
 
 func TestNetFlagsOptions(t *testing.T) {
 	f := &NetFlags{Watchdog: 3 * time.Second, Replan: 5, Dynamic: true, Tc: 1e-5, Sigma: 2e-4}
-	opt := f.Options()
+	opt, err := f.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if opt.Watchdog != 3*time.Second || opt.ReplanEvery != 5 || !opt.Dynamic ||
 		opt.Tc != 1e-5 || opt.InitialSigma != 2e-4 {
 		t.Fatalf("options = %+v do not mirror flags %+v", opt, f)
 	}
 	if opt.Logf != nil {
 		t.Fatal("Options must leave Logf for the caller to wire")
+	}
+	if opt.Op != nil {
+		t.Fatal("no -collective flag must leave Op nil")
+	}
+
+	f.Collective = "sum-u64"
+	opt, err = f.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Op == nil || opt.Op.Name != "sum-u64" {
+		t.Fatalf("collective flag not resolved: %+v", opt.Op)
+	}
+
+	f.Collective = "no-such-op"
+	if _, err = f.Options(); err == nil {
+		t.Fatal("unknown collective op accepted")
 	}
 }

@@ -24,6 +24,7 @@ type Release struct {
 	Epoch   uint64  // the next episode's configuration epoch
 	Spread  float64 // this episode's arrival spread, seconds
 	Sigma   float64 // the session's EWMA σ estimate, seconds
+	Result  []byte  // collective sessions: the episode's folded result
 }
 
 // Client is one participant of a networked barrier session. The calling
@@ -135,6 +136,42 @@ func (c *Client) Arrive() error {
 	return nil
 }
 
+// ArriveReduce announces arrival carrying a collective contribution — the
+// fuzzy half of AllReduce. The session must have been configured with the
+// matching op server-side (barrierd -collective); in must be exactly the
+// op's width. The episode's Release arrives as a Result frame whose
+// folded bytes Await surfaces in Release.Result.
+func (c *Client) ArriveReduce(in []byte) error {
+	if c.err != nil {
+		return c.err
+	}
+	if !c.joined {
+		return c.fail(errors.New("netbarrier: arrive before join"))
+	}
+	if err := c.write(Frame{Type: TypeArriveData, Episode: c.episode, Data: in}); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// AllReduce is ArriveReduce followed by Await: contribute in, block until
+// every participant has contributed, and return the folded result (the
+// deterministic ascending-id fold for non-commutative ops). The result
+// slice is owned by the caller.
+func (c *Client) AllReduce(in []byte) ([]byte, error) {
+	if err := c.ArriveReduce(in); err != nil {
+		return nil, err
+	}
+	rel, err := c.Await()
+	if err != nil {
+		return nil, err
+	}
+	if rel.Result == nil {
+		return nil, c.fail(errors.New("netbarrier: session has no collective op (release carried no result)"))
+	}
+	return rel.Result, nil
+}
+
 // Await blocks until the server releases the episode Arrive announced, or
 // delivers a poison cause. It returns the episode's Release telemetry.
 func (c *Client) Await() (Release, error) {
@@ -146,7 +183,7 @@ func (c *Client) Await() (Release, error) {
 		return Release{}, c.fail(fmt.Errorf("netbarrier: connection failed awaiting release: %w", err))
 	}
 	switch f.Type {
-	case TypeRelease:
+	case TypeRelease, TypeResult:
 		c.episode = f.Episode + 1
 		c.degree = f.Degree
 		if f.P > 0 {
@@ -154,11 +191,15 @@ func (c *Client) Await() (Release, error) {
 		}
 		c.epoch = f.Epoch
 		c.sigma = f.Sigma
-		return Release{Episode: f.Episode, Degree: f.Degree, P: f.P, Epoch: f.Epoch, Spread: f.Spread, Sigma: f.Sigma}, nil
+		rel := Release{Episode: f.Episode, Degree: f.Degree, P: f.P, Epoch: f.Epoch, Spread: f.Spread, Sigma: f.Sigma}
+		if f.Type == TypeResult {
+			rel.Result = append([]byte(nil), f.Data...)
+		}
+		return rel, nil
 	case TypePoison:
 		return Release{}, c.fail(softbarrier.DecodePoisonCause(f.Cause))
 	default:
-		return Release{}, c.fail(fmt.Errorf("netbarrier: unexpected frame type %d while awaiting release", f.Type))
+		return Release{}, c.fail(fmt.Errorf("netbarrier: unexpected frame %s while awaiting release", FrameName(f.Type)))
 	}
 }
 

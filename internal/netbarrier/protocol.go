@@ -18,13 +18,16 @@ func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
 //	frame   := length(uint32, big-endian, of body) body
 //	body    := type(1 byte) payload
 //
-// Six frame types cover the whole lifecycle. A client joins a named
+// Eight frame types cover the whole lifecycle. A client joins a named
 // session (JoinReq/JoinResp), then alternates Arrive (client → server)
 // with Release (server → client) once per episode, and finally departs
 // with Leave. Poison (server → client) replaces Release when the episode
 // is aborted; its payload is the softbarrier wire-encoded cause, so the
 // remote waiter gets the same *StallError / sentinel error a local waiter
-// would. All integers are big-endian; floats travel as IEEE-754 bits.
+// would. Collective sessions substitute ArriveData for Arrive (the
+// arrival carries the client's contribution bytes) and Result for
+// Release (the release carries the folded result). All integers are
+// big-endian; floats travel as IEEE-754 bits.
 const (
 	// TypeJoinReq (client → server) opens a session membership:
 	// nameLen(uint16) name p(uint32) id(int32; -1 = server assigns).
@@ -53,7 +56,42 @@ const (
 	// empty payload. A connection that drops without Leave poisons the
 	// session.
 	TypeLeave = byte(6)
+	// TypeArriveData (client → server) announces arrival with a
+	// collective contribution: episode(uint64) dataLen(uint16) data. The
+	// data length must match the session op's width; a plain Arrive in a
+	// collective session contributes the op's identity instead.
+	TypeArriveData = byte(7)
+	// TypeResult (server → client) completes a collective episode: the
+	// Release payload followed by resultLen(uint16) result, the folded
+	// contribution of every participant (deterministic ascending-id fold
+	// for non-commutative ops).
+	TypeResult = byte(8)
 )
+
+// FrameName returns the symbolic name of a frame type for error messages
+// and logs, or "type(N)" for an unknown type.
+func FrameName(t byte) string {
+	switch t {
+	case TypeJoinReq:
+		return "join-req"
+	case TypeJoinResp:
+		return "join-resp"
+	case TypeArrive:
+		return "arrive"
+	case TypeRelease:
+		return "release"
+	case TypePoison:
+		return "poison"
+	case TypeLeave:
+		return "leave"
+	case TypeArriveData:
+		return "arrive-data"
+	case TypeResult:
+		return "result"
+	default:
+		return fmt.Sprintf("type(%d)", t)
+	}
+}
 
 const (
 	// MaxName bounds the session-name length in a JoinReq.
@@ -61,6 +99,10 @@ const (
 	// MaxFrame bounds a frame body; larger length prefixes are rejected
 	// before any allocation, so a corrupt peer cannot balloon memory.
 	MaxFrame = 1 << 17
+	// MaxData bounds the collective payload of an ArriveData or Result
+	// frame: the uint16 length prefix caps it at 64KiB−1, comfortably
+	// inside MaxFrame even with the largest surrounding header.
+	MaxData = 0xffff
 	// lenSize is the length-prefix size.
 	lenSize = 4
 )
@@ -79,21 +121,42 @@ type Frame struct {
 	Sigma   float64 // Release: EWMA σ estimate, seconds
 	Err     string  // JoinResp: refusal reason ("" = accepted)
 	Cause   []byte  // Poison: wire-encoded poison cause
+	Data    []byte  // ArriveData: contribution; Result: folded result
 }
 
 // AppendFrame appends f's complete wire form — length prefix included —
 // to dst and returns the result. It errors on unencodable frames
-// (unknown type, oversized name/error/cause) rather than emitting a
-// frame the decoder would reject.
+// (unknown type, oversized name/error/cause/data) rather than emitting a
+// frame the decoder would reject; every bound is checked before a byte
+// is written, so dst is untouched on error.
 func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	switch f.Type {
+	case TypeJoinReq:
+		if len(f.Name) > MaxName {
+			return nil, fmt.Errorf("netbarrier: %s session name %d bytes exceeds %d", FrameName(f.Type), len(f.Name), MaxName)
+		}
+	case TypeJoinResp:
+		if len(f.Err) > 0xffff {
+			return nil, fmt.Errorf("netbarrier: %s error %d bytes exceeds %d", FrameName(f.Type), len(f.Err), 0xffff)
+		}
+	case TypePoison:
+		if len(f.Cause) > 0xffff {
+			return nil, fmt.Errorf("netbarrier: %s cause %d bytes exceeds %d", FrameName(f.Type), len(f.Cause), 0xffff)
+		}
+	case TypeArriveData, TypeResult:
+		if len(f.Data) > MaxData {
+			return nil, fmt.Errorf("netbarrier: %s payload %d bytes exceeds %d", FrameName(f.Type), len(f.Data), MaxData)
+		}
+	case TypeArrive, TypeRelease, TypeLeave:
+		// fixed-size payloads
+	default:
+		return nil, fmt.Errorf("netbarrier: cannot encode frame %s", FrameName(f.Type))
+	}
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // length back-patched below
 	dst = append(dst, f.Type)
 	switch f.Type {
 	case TypeJoinReq:
-		if len(f.Name) > MaxName {
-			return nil, fmt.Errorf("netbarrier: session name %d bytes exceeds %d", len(f.Name), MaxName)
-		}
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Name)))
 		dst = append(dst, f.Name...)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(f.P))
@@ -103,9 +166,6 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(f.P))
 		dst = binary.BigEndian.AppendUint32(dst, uint32(f.Degree))
 		dst = binary.BigEndian.AppendUint64(dst, f.Episode)
-		if len(f.Err) > 0xffff {
-			return nil, fmt.Errorf("netbarrier: join error %d bytes exceeds %d", len(f.Err), 0xffff)
-		}
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Err)))
 		dst = append(dst, f.Err...)
 	case TypeArrive:
@@ -118,19 +178,27 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Spread))
 		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Sigma))
 	case TypePoison:
-		if len(f.Cause) > 0xffff {
-			return nil, fmt.Errorf("netbarrier: poison cause %d bytes exceeds %d", len(f.Cause), 0xffff)
-		}
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Cause)))
 		dst = append(dst, f.Cause...)
 	case TypeLeave:
 		// empty payload
-	default:
-		return nil, fmt.Errorf("netbarrier: cannot encode frame type %d", f.Type)
+	case TypeArriveData:
+		dst = binary.BigEndian.AppendUint64(dst, f.Episode)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Data)))
+		dst = append(dst, f.Data...)
+	case TypeResult:
+		dst = binary.BigEndian.AppendUint64(dst, f.Episode)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.Degree))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.P))
+		dst = binary.BigEndian.AppendUint64(dst, f.Epoch)
+		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Spread))
+		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Sigma))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Data)))
+		dst = append(dst, f.Data...)
 	}
 	body := len(dst) - start - lenSize
 	if body > MaxFrame {
-		return nil, fmt.Errorf("netbarrier: frame body %d bytes exceeds %d", body, MaxFrame)
+		return nil, fmt.Errorf("netbarrier: %s body %d bytes exceeds %d", FrameName(f.Type), body, MaxFrame)
 	}
 	binary.BigEndian.PutUint32(dst[start:], uint32(body))
 	return dst, nil
@@ -205,8 +273,39 @@ func DecodeFrame(body []byte) (Frame, error) {
 		if len(b) != 0 {
 			return Frame{}, fmt.Errorf("netbarrier: leave wants no payload, has %d bytes", len(b))
 		}
+	case TypeArriveData:
+		if len(b) < 8 {
+			return Frame{}, fmt.Errorf("netbarrier: %s wants ≥ 8 bytes, has %d", FrameName(f.Type), len(b))
+		}
+		f.Episode = binary.BigEndian.Uint64(b)
+		d, rest, err := lengthPrefixed(b[8:], "arrive-data payload", MaxData)
+		if err != nil {
+			return Frame{}, err
+		}
+		if len(rest) != 0 {
+			return Frame{}, fmt.Errorf("netbarrier: %d trailing bytes after %s", len(rest), FrameName(f.Type))
+		}
+		f.Data = d
+	case TypeResult:
+		if len(b) < 40 {
+			return Frame{}, fmt.Errorf("netbarrier: %s wants ≥ 40 bytes, has %d", FrameName(f.Type), len(b))
+		}
+		f.Episode = binary.BigEndian.Uint64(b)
+		f.Degree = int(binary.BigEndian.Uint32(b[8:]))
+		f.P = int(binary.BigEndian.Uint32(b[12:]))
+		f.Epoch = binary.BigEndian.Uint64(b[16:])
+		f.Spread = bitsFloat(binary.BigEndian.Uint64(b[24:]))
+		f.Sigma = bitsFloat(binary.BigEndian.Uint64(b[32:]))
+		d, rest, err := lengthPrefixed(b[40:], "result payload", MaxData)
+		if err != nil {
+			return Frame{}, err
+		}
+		if len(rest) != 0 {
+			return Frame{}, fmt.Errorf("netbarrier: %d trailing bytes after %s", len(rest), FrameName(f.Type))
+		}
+		f.Data = d
 	default:
-		return Frame{}, fmt.Errorf("netbarrier: unknown frame type %d", f.Type)
+		return Frame{}, fmt.Errorf("netbarrier: unknown frame %s", FrameName(f.Type))
 	}
 	return f, nil
 }

@@ -23,6 +23,10 @@ func sampleFrames() []Frame {
 		{Type: TypePoison, Cause: []byte{0x01}},
 		{Type: TypePoison, Cause: []byte{}},
 		{Type: TypeLeave},
+		{Type: TypeArriveData, Episode: 3, Data: []byte{0, 0, 0, 0, 0, 0, 0, 42}},
+		{Type: TypeArriveData, Episode: 1<<63 - 1, Data: []byte{}},
+		{Type: TypeResult, Episode: 999, Degree: 4, P: 64, Epoch: 7, Spread: 3.25e-4, Sigma: 2.5e-4, Data: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Type: TypeResult, Episode: 0, Degree: 2, P: 2, Spread: math.NaN(), Sigma: math.Inf(-1), Data: bytes.Repeat([]byte{7}, 128)},
 	}
 }
 
@@ -38,7 +42,7 @@ func framesEqual(a, b Frame) bool {
 		math.Float64bits(a.Sigma) != math.Float64bits(b.Sigma) {
 		return false
 	}
-	return bytes.Equal(a.Cause, b.Cause)
+	return bytes.Equal(a.Cause, b.Cause) && bytes.Equal(a.Data, b.Data)
 }
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -82,23 +86,68 @@ func TestWriteFrameMatchesAppendFrame(t *testing.T) {
 
 func TestDecodeFrameRejects(t *testing.T) {
 	cases := map[string][]byte{
-		"empty body":             {},
-		"unknown type":           {42},
-		"truncated join name":    {TypeJoinReq, 0},
-		"join name overruns":     {TypeJoinReq, 0, 5, 'a', 'b'},
-		"join missing p/id":      {TypeJoinReq, 0, 1, 'a', 0, 0},
-		"join trailing garbage":  {TypeJoinReq, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff, 9},
-		"arrive short":           {TypeArrive, 1, 2, 3},
-		"arrive long":            {TypeArrive, 1, 2, 3, 4, 5, 6, 7, 8, 9},
-		"release short":          {TypeRelease, 0},
-		"leave with payload":     {TypeLeave, 1},
-		"poison truncated cause": {TypePoison, 0, 9, 1},
-		"joinresp short":         {TypeJoinResp, 0, 0, 0, 1},
+		"empty body":                  {},
+		"unknown type":                {42},
+		"truncated join name":         {TypeJoinReq, 0},
+		"join name overruns":          {TypeJoinReq, 0, 5, 'a', 'b'},
+		"join missing p/id":           {TypeJoinReq, 0, 1, 'a', 0, 0},
+		"join trailing garbage":       {TypeJoinReq, 0, 0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff, 9},
+		"arrive short":                {TypeArrive, 1, 2, 3},
+		"arrive long":                 {TypeArrive, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		"release short":               {TypeRelease, 0},
+		"leave with payload":          {TypeLeave, 1},
+		"poison truncated cause":      {TypePoison, 0, 9, 1},
+		"joinresp short":              {TypeJoinResp, 0, 0, 0, 1},
+		"arrive-data short":           {TypeArriveData, 1, 2, 3},
+		"arrive-data truncated len":   {TypeArriveData, 0, 0, 0, 0, 0, 0, 0, 0, 7},
+		"arrive-data payload overrun": {TypeArriveData, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9, 1, 2},
+		"arrive-data trailing":        append(mustEncodeBody(Frame{Type: TypeArriveData, Episode: 1, Data: []byte{5}}), 0xff),
+		"result short":                {TypeResult, 1, 2, 3},
+		"result truncated len":        append(append([]byte{TypeResult}, make([]byte, 40)...), 0, 9),
+		"result trailing":             append(mustEncodeBody(Frame{Type: TypeResult, Data: []byte{5}}), 0xff),
 	}
 	for name, body := range cases {
 		if _, err := DecodeFrame(body); err == nil {
 			t.Errorf("%s: decode accepted %v", name, body)
 		}
+	}
+}
+
+// mustEncodeBody returns f's encoded body (without the length prefix) for
+// building corrupt variants.
+func mustEncodeBody(f Frame) []byte {
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		panic(err)
+	}
+	return buf[lenSize:]
+}
+
+// TestDecodeFrameErrorsNameTypes pins the symbolic frame names in decoder
+// and encoder errors: diagnostics must say "arrive-data", not "type 7".
+func TestDecodeFrameErrorsNameTypes(t *testing.T) {
+	if got := FrameName(TypeArriveData); got != "arrive-data" {
+		t.Fatalf("FrameName(TypeArriveData) = %q", got)
+	}
+	if got := FrameName(200); got != "type(200)" {
+		t.Fatalf("FrameName(200) = %q", got)
+	}
+	for _, tc := range []struct {
+		body []byte
+		want string
+	}{
+		{[]byte{TypeArriveData, 1}, "arrive-data"},
+		{[]byte{TypeResult, 1}, "result"},
+		{[]byte{200}, "type(200)"},
+	} {
+		_, err := DecodeFrame(tc.body)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("decode %v: error %q does not name %q", tc.body, err, tc.want)
+		}
+	}
+	_, err := AppendFrame(nil, Frame{Type: TypeResult, Data: make([]byte, MaxData+1)})
+	if err == nil || !strings.Contains(err.Error(), "result") {
+		t.Errorf("oversize result encode error %q does not name the frame", err)
 	}
 }
 
@@ -159,5 +208,16 @@ func TestFrameEncodeRejectsOversize(t *testing.T) {
 	}
 	if _, err := AppendFrame(nil, Frame{Type: 99}); err == nil {
 		t.Error("unknown frame type encoded")
+	}
+	// Oversize collective payloads are refused before a byte is encoded.
+	dst := []byte{0xAA}
+	if _, err := AppendFrame(dst, Frame{Type: TypeArriveData, Data: make([]byte, MaxData+1)}); err == nil {
+		t.Error("oversized arrive-data payload encoded")
+	}
+	if _, err := AppendFrame(dst, Frame{Type: TypeResult, Data: make([]byte, MaxData+1)}); err == nil {
+		t.Error("oversized result payload encoded")
+	}
+	if len(dst) != 1 || dst[0] != 0xAA {
+		t.Error("rejected encode mutated dst")
 	}
 }

@@ -58,6 +58,14 @@ type Options struct {
 	// MaxP caps the participant count a JoinReq may open a session with;
 	// 0 selects 4096.
 	MaxP int
+	// Op arms every session with a collective reduction: arrivals may
+	// carry op.Width-byte contributions (ArriveData frames), releases
+	// carry the folded result (Result frames), and payload-less arrivals
+	// — plain Arrive frames, and the proxy arrival for an elastic leaver
+	// — contribute the op's identity. The op travels out-of-band: both
+	// sides name it (softbarrier.OpByName) rather than shipping code.
+	// Nil keeps the plain barrier protocol.
+	Op *softbarrier.Op
 	// Logf, when non-nil, receives one line per session lifecycle event
 	// (join, re-plan, poison, retire).
 	Logf func(format string, args ...any)
@@ -322,11 +330,13 @@ func (s *Server) handle(conn net.Conn) {
 		switch f.Type {
 		case TypeArrive:
 			sess.arrive(c, f.Episode)
+		case TypeArriveData:
+			sess.arriveData(c, f.Episode, f.Data)
 		case TypeLeave:
 			sess.leave(c)
 			return
 		default:
-			sess.poison(fmt.Errorf("netbarrier: protocol violation: client %d sent frame type %d", c.id.Load(), f.Type))
+			sess.poison(fmt.Errorf("netbarrier: protocol violation: client %d sent frame %s", c.id.Load(), FrameName(f.Type)))
 			return
 		}
 	}

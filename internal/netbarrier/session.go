@@ -17,6 +17,8 @@ import (
 // fires at the episode's quiescent point, before any in-process release.
 type arrivalTree interface {
 	Arrive(id int)
+	ArriveReduce(id int, in []byte) error
+	Reduced(episode uint64) []byte
 	Poison(err error)
 	Err() error
 	Close()
@@ -68,6 +70,8 @@ type session struct {
 	profile softbarrier.Profile  // template for the planner; P and Sigma are live
 	est     rt.SigmaEstimator    // EWMA of per-episode arrival spread
 	ctrl    *reconfig.Controller // epoch state: degree, membership, placement
+	op      *softbarrier.Op      // collective op, nil for a plain barrier session
+	ident   []byte               // op identity, proxy-contributed for plain/leaving members
 
 	core    atomic.Pointer[coreBox]
 	episode atomic.Uint64 // current episode index; advanced by the releaser
@@ -93,6 +97,13 @@ func newSession(srv *Server, name string, p int) *session {
 			Tc:       srv.opt.Tc,
 			Systemic: srv.opt.Dynamic,
 		},
+	}
+	if op := srv.opt.Op; op != nil {
+		s.op = op
+		s.ident = make([]byte, op.Width)
+		if op.Identity != nil {
+			copy(s.ident, op.Identity)
+		}
 	}
 	s.est.Init(rt.DefaultSigmaWeight)
 	rec := softbarrier.Recommend(s.profile)
@@ -133,6 +144,9 @@ func (s *session) buildCore(plan reconfig.Plan) arrivalTree {
 	if d := s.srv.opt.Watchdog; d > 0 {
 		opts = append(opts, softbarrier.WithWatchdog(d))
 	}
+	if s.op != nil {
+		opts = append(opts, softbarrier.WithCollective(*s.op))
+	}
 	if plan.Dynamic {
 		return softbarrier.NewDynamic(plan.P, plan.Degree, opts...)
 	}
@@ -166,23 +180,62 @@ func (s *session) stats() SessionStats {
 	}
 }
 
-// arrive validates and applies one member's Arrive frame. It runs on the
-// member's reader goroutine; the frame's episode must be the session's
-// current one (a client cannot legally race ahead — it has not seen the
-// release that would let it — so a mismatch is a protocol violation, and
-// a duplicate arrival would corrupt the tree's counters).
+// arrive applies one member's Arrive frame (see checkArrival for the
+// validation contract).
 func (s *session) arrive(c *srvConn, episode uint64) {
-	id := int(c.id.Load())
+	id, ok := s.checkArrival(c, episode)
+	if !ok {
+		return
+	}
+	if s.op != nil {
+		// A collective episode's release folds every member's deposit, so
+		// a payload-less arrival contributes the op's identity: mixed
+		// cohorts (plain clients alongside collective ones) stay correct.
+		s.core.Load().b.ArriveReduce(id, s.ident)
+		return
+	}
+	s.core.Load().b.Arrive(id)
+}
+
+// arriveData applies one member's ArriveData frame: an arrival carrying a
+// collective contribution. The session must have been configured with an
+// op, and the payload must be exactly the op's width — both are protocol
+// violations, not per-member errors, because the episode's fold is
+// already corrupted by the time a retry could land.
+func (s *session) arriveData(c *srvConn, episode uint64, data []byte) {
+	id, ok := s.checkArrival(c, episode)
+	if !ok {
+		return
+	}
+	if s.op == nil {
+		s.poison(fmt.Errorf("netbarrier: protocol violation: client %d sent %s to a session with no collective op", id, FrameName(TypeArriveData)))
+		return
+	}
+	if len(data) != s.op.Width {
+		s.poison(fmt.Errorf("netbarrier: protocol violation: client %d contributed %d bytes, op %q wants %d", id, len(data), s.op.Name, s.op.Width))
+		return
+	}
+	s.core.Load().b.ArriveReduce(id, data)
+}
+
+// checkArrival validates an arrival frame against the session's episode
+// counter and the member's arrival window, advancing the latter. It runs
+// on the member's reader goroutine; the frame's episode must be the
+// session's current one (a client cannot legally race ahead — it has not
+// seen the release that would let it — so a mismatch is a protocol
+// violation, and a duplicate arrival would corrupt the tree's counters).
+func (s *session) checkArrival(c *srvConn, episode uint64) (id int, ok bool) {
+	id = int(c.id.Load())
 	if id < 0 {
 		s.poison(fmt.Errorf("netbarrier: protocol violation: pending client arrived before admission"))
-		return
+		return 0, false
 	}
 	if cur := s.episode.Load(); episode != cur || episode < c.nextArrive.Load() {
 		s.poison(fmt.Errorf("netbarrier: protocol violation: client %d arrived for episode %d (current %d)", id, episode, cur))
-		return
+		return 0, false
 	}
 	c.nextArrive.Store(episode + 1)
-	s.core.Load().b.Arrive(id)
+	return id, true
 }
 
 // onEpisode is the Observer callback: it runs on the reader goroutine
@@ -199,6 +252,10 @@ func (s *session) onEpisode(st softbarrier.EpisodeStats) {
 	}
 	ep := s.episode.Load()
 	box := s.core.Load()
+	// Capture the collective result at the quiescent point, while the
+	// completed core still owns it: a re-plan below swaps the core out,
+	// and the next same-parity episode would overwrite the buffer.
+	result := s.capture(box, st.Episode)
 	if !s.dead.Load() {
 		if plan, ok := s.ctrl.Evaluate(); ok {
 			s.core.Store(&coreBox{s.buildCore(plan)})
@@ -216,11 +273,32 @@ func (s *session) onEpisode(st softbarrier.EpisodeStats) {
 		return // poison raced in mid-episode; members already have the cause
 	}
 	cur := s.ctrl.Current()
-	s.broadcast(Frame{
+	s.broadcast(s.releaseFrame(ep, s.degree(), cur.P, cur.Epoch, st.Spread, s.ctrl.Sigma(), result), true)
+}
+
+// capture copies episode's folded result out of the completed core, or
+// returns nil for a plain barrier session.
+func (s *session) capture(box *coreBox, episode uint64) []byte {
+	if s.op == nil {
+		return nil
+	}
+	return append([]byte(nil), box.b.Reduced(episode)...)
+}
+
+// releaseFrame builds the frame completing an episode: a Release for a
+// plain session, a Result carrying the folded contributions for a
+// collective one.
+func (s *session) releaseFrame(ep uint64, degree, p int, epoch uint64, spread, sigma float64, result []byte) Frame {
+	f := Frame{
 		Type: TypeRelease, Episode: ep,
-		Degree: s.degree(), P: cur.P, Epoch: cur.Epoch,
-		Spread: st.Spread, Sigma: s.ctrl.Sigma(),
-	}, true)
+		Degree: degree, P: p, Epoch: epoch,
+		Spread: spread, Sigma: sigma,
+	}
+	if s.op != nil {
+		f.Type = TypeResult
+		f.Data = result
+	}
+	return f
 }
 
 // elasticBoundary is the elastic session's episode boundary: under the
@@ -237,6 +315,7 @@ func (s *session) elasticBoundary(st softbarrier.EpisodeStats) {
 	s.mu.Lock()
 	ep := s.episode.Load()
 	box := s.core.Load()
+	result := s.capture(box, st.Episode) // before the boundary swaps the core
 
 	continuing := make([]*srvConn, 0, len(s.members))
 	for _, m := range s.members {
@@ -303,11 +382,7 @@ func (s *session) elasticBoundary(st softbarrier.EpisodeStats) {
 			return
 		}
 	}
-	rel := Frame{
-		Type: TypeRelease, Episode: ep,
-		Degree: deg, P: cur.P, Epoch: cur.Epoch,
-		Spread: st.Spread, Sigma: sigma,
-	}
+	rel := s.releaseFrame(ep, deg, cur.P, cur.Epoch, st.Spread, sigma, result)
 	buf, err := AppendFrame(nil, rel)
 	if err != nil {
 		s.poison(fmt.Errorf("netbarrier: internal: unencodable frame: %w", err))
@@ -487,8 +562,14 @@ func (s *session) leave(c *srvConn) {
 	s.mu.Unlock()
 	if needProxy {
 		// The proxy arrival below may complete the episode, whose boundary
-		// (or, if everyone is gone, retirement) runs inside this call.
-		core.b.Arrive(int(c.id.Load()))
+		// (or, if everyone is gone, retirement) runs inside this call. A
+		// collective session folds the op's identity on the leaver's
+		// behalf, so the cohort's result is unchanged by its absence.
+		if s.op != nil {
+			core.b.ArriveReduce(int(c.id.Load()), s.ident)
+		} else {
+			core.b.Arrive(int(c.id.Load()))
+		}
 		return
 	}
 	if done {

@@ -1,0 +1,185 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func sumOp() Op {
+	return Op{
+		Name: "sum-u64", Width: 8, Commutative: true,
+		Fold: func(dst, src []byte) {
+			binary.BigEndian.PutUint64(dst, binary.BigEndian.Uint64(dst)+binary.BigEndian.Uint64(src))
+		},
+	}
+}
+
+// concatFirstByte is a deliberately non-commutative op over 4 bytes:
+// dst = dst<<8 | src[3] (keeps the last byte of each operand in order).
+func shiftOp() Op {
+	return Op{
+		Name: "shift", Width: 4,
+		Fold: func(dst, src []byte) {
+			v := binary.BigEndian.Uint32(dst)<<8 | uint32(src[3])
+			binary.BigEndian.PutUint32(dst, v)
+		},
+	}
+}
+
+func TestOpValidate(t *testing.T) {
+	if err := (Op{Width: 8, Fold: func(dst, src []byte) {}}).Validate(); err != nil {
+		t.Fatalf("valid op rejected: %v", err)
+	}
+	bad := []Op{
+		{Width: 0, Fold: func(dst, src []byte) {}},
+		{Width: -1, Fold: func(dst, src []byte) {}},
+		{Width: 8},
+		{Width: 8, Fold: func(dst, src []byte) {}, Identity: make([]byte, 4)},
+	}
+	for i, op := range bad {
+		if err := op.Validate(); err == nil {
+			t.Errorf("bad op %d validated", i)
+		}
+	}
+}
+
+func TestReducerGreedyPath(t *testing.T) {
+	// One node with fan-in 3: fold three contributions through
+	// FoldNode/TakeNode and check the sum.
+	r := NewReducer(sumOp(), 3, 1)
+	buf := make([]byte, 8)
+	for _, v := range []uint64{10, 200, 3000} {
+		binary.BigEndian.PutUint64(buf, v)
+		r.FoldNode(0, buf)
+	}
+	got := binary.BigEndian.Uint64(r.TakeNode(0))
+	if got != 3210 {
+		t.Fatalf("greedy fold = %d, want 3210", got)
+	}
+	// The accumulator must be consumable again for the next episode.
+	binary.BigEndian.PutUint64(buf, 7)
+	r.FoldNode(0, buf)
+	if got := binary.BigEndian.Uint64(r.TakeNode(0)); got != 7 {
+		t.Fatalf("post-take fold = %d, want 7", got)
+	}
+}
+
+func TestReducerCellsPathDeterministic(t *testing.T) {
+	const p = 5
+	r := NewReducer(shiftOp(), p, 3)
+	// Deposit in a scrambled order; the id-order fold must still equal the
+	// sequential fold 0,1,2,3,4.
+	for _, id := range []int{3, 0, 4, 1, 2} {
+		var c [4]byte
+		c[3] = byte(0x10 + id)
+		r.Deposit(0, id, c[:])
+	}
+	res := r.FinishCells(0, p)
+	want := []byte{0x11, 0x12, 0x13, 0x14} // 0x10 shifted out of the 4-byte window
+	if !bytes.Equal(res, want) {
+		t.Fatalf("cells fold = %x, want %x", res, want)
+	}
+	if got := r.Result(0); !bytes.Equal(got, want) {
+		t.Fatalf("Result(0) = %x, want %x", got, want)
+	}
+}
+
+func TestReducerParityAndResize(t *testing.T) {
+	r := NewReducer(sumOp(), 2, 1)
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, 41)
+	r.Deposit(0, 0, buf)
+	binary.BigEndian.PutUint64(buf, 1)
+	r.Deposit(0, 1, buf)
+	even := r.FinishCells(0, 2)
+	if got := binary.BigEndian.Uint64(even); got != 42 {
+		t.Fatalf("even episode = %d, want 42", got)
+	}
+	// Odd-parity episode with different membership after a resize: the
+	// even result must survive the rebuffer.
+	r.Resize(3, 2)
+	for id := 0; id < 3; id++ {
+		binary.BigEndian.PutUint64(buf, uint64(id+1))
+		r.Deposit(1, id, buf)
+	}
+	odd := r.FinishCells(1, 3)
+	if got := binary.BigEndian.Uint64(odd); got != 6 {
+		t.Fatalf("odd episode = %d, want 6", got)
+	}
+	if got := binary.BigEndian.Uint64(r.Result(0)); got != 42 {
+		t.Fatalf("even result clobbered by resize: %d, want 42", got)
+	}
+	out := make([]byte, 8)
+	r.CopyResult(1, out)
+	if got := binary.BigEndian.Uint64(out); got != 6 {
+		t.Fatalf("CopyResult(1) = %d, want 6", got)
+	}
+}
+
+func TestReducerIdentity(t *testing.T) {
+	op := sumOp()
+	op.Identity = make([]byte, 8) // explicit zero identity
+	r := NewReducer(op, 2, 1)
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, 9)
+	r.Deposit(0, 0, buf)
+	r.DepositIdentity(0, 1)
+	if got := binary.BigEndian.Uint64(r.FinishCells(0, 2)); got != 9 {
+		t.Fatalf("identity-padded fold = %d, want 9", got)
+	}
+}
+
+func TestReducerDepositWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short deposit did not panic")
+		}
+	}()
+	NewReducer(sumOp(), 1, 1).Deposit(0, 0, []byte{1, 2})
+}
+
+func TestLagEstimator(t *testing.T) {
+	e := NewLagEstimator(3, 0.5)
+	e.Observe([]float64{10, 11, 13})
+	lags := e.Lags()
+	want := []float64{0, 1, 3}
+	for i := range want {
+		if lags[i] != want[i] {
+			t.Fatalf("seed lags = %v, want %v", lags, want)
+		}
+	}
+	// Second episode: participant 2 on time, participant 0 late.
+	e.Observe([]float64{25, 20, 20})
+	lags = e.Lags()
+	if lags[0] != 2.5 || lags[1] != 0.5 || lags[2] != 1.5 {
+		t.Fatalf("EWMA lags = %v, want [2.5 0.5 1.5]", lags)
+	}
+	if e.Episodes() != 2 {
+		t.Fatalf("episodes = %d, want 2", e.Episodes())
+	}
+	// Membership change re-seeds.
+	e.Observe([]float64{5, 5})
+	if got := e.Lags(); len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("post-resize lags = %v, want [0 0]", got)
+	}
+	if e.Episodes() != 1 {
+		t.Fatalf("post-resize episodes = %d, want 1", e.Episodes())
+	}
+}
+
+func TestRecorderFoldLags(t *testing.T) {
+	now := int64(0)
+	clock := func() int64 { return now }
+	r := New(3, nil, clock, true)
+	est := NewLagEstimator(3, 1)
+	for id, at := range []int64{0, 1e9, 3e9} {
+		now = at
+		r.Arrive(id, 0)
+	}
+	r.FoldLags(0, est)
+	lags := est.Lags()
+	if lags[0] != 0 || lags[1] != 1 || lags[2] != 3 {
+		t.Fatalf("folded lags = %v, want [0 1 3]", lags)
+	}
+}

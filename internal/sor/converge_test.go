@@ -1,0 +1,114 @@
+package sor
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"softbarrier"
+)
+
+// hotGrid builds an n×n grid with a hot upper boundary, the same driving
+// condition cmd/sorbench uses.
+func hotGrid(n int) *Grid {
+	g := NewGrid(n, n)
+	for y := 0; y < n; y++ {
+		g.SetBoth(0, y, 1)
+	}
+	return g
+}
+
+func TestResidualSumRows(t *testing.T) {
+	g := NewGrid(8, 8)
+	if s := g.ResidualSumRows(0, 1, 7); s != 0 {
+		t.Fatalf("zero grid has residual sum %v", s)
+	}
+	g = hotGrid(8)
+	full := g.ResidualSumRows(0, 1, 7)
+	if full <= 0 {
+		t.Fatalf("hot boundary gives residual sum %v", full)
+	}
+	if clipped := g.ResidualSumRows(0, -3, 99); clipped != full {
+		t.Fatalf("clipping changed the sum: %v vs %v", clipped, full)
+	}
+	// Only row 1 feels the hot boundary before any sweep: each of its 6
+	// interior points is off by 0.25·1.
+	if want := 6 * 0.25 * 0.25; full != want {
+		t.Fatalf("initial residual sum %v, want %v", full, want)
+	}
+	if rows := g.ResidualSumRows(0, 2, 7); rows != 0 {
+		t.Fatalf("rows away from the boundary have residual sum %v", rows)
+	}
+}
+
+func TestSolveSORParUntilMatchesSeq(t *testing.T) {
+	const (
+		n          = 34
+		p          = 4
+		eps        = 1e-6
+		checkEvery = 5
+		maxIters   = 5000
+	)
+	omega := OmegaOpt(n-2, n-2)
+	ref := hotGrid(n)
+	seqSweeps, seqRMS := ref.SolveSORSeqUntil(omega, eps, checkEvery, maxIters, p)
+	if seqSweeps >= maxIters {
+		t.Fatalf("sequential reference did not converge in %d sweeps", maxIters)
+	}
+	if seqSweeps%checkEvery != 0 {
+		t.Fatalf("converged at sweep %d, not a multiple of checkEvery %d", seqSweeps, checkEvery)
+	}
+
+	for _, tc := range []struct {
+		name string
+		b    ConvergeBarrier
+	}{
+		{"tree-d2", softbarrier.NewCombiningTree(p, 2, softbarrier.WithCollective(softbarrier.OpSumFloat64()))},
+		{"mcs-d3", softbarrier.NewMCSTree(p, 3, softbarrier.WithCollective(softbarrier.OpSumFloat64()))},
+		{"dynamic-d2", softbarrier.NewDynamic(p, 2, softbarrier.WithCollective(softbarrier.OpSumFloat64()))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := hotGrid(n)
+			sweeps, rms, err := g.SolveSORParUntil(p, omega, eps, checkEvery, maxIters, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sweeps != seqSweeps {
+				t.Fatalf("parallel converged at sweep %d, sequential at %d", sweeps, seqSweeps)
+			}
+			if math.Float64bits(rms) != math.Float64bits(seqRMS) {
+				t.Fatalf("parallel RMS %v not bit-identical to sequential %v", rms, seqRMS)
+			}
+			if g.Checksum(0) != ref.Checksum(0) {
+				t.Fatalf("grids diverged: checksum %v vs %v", g.Checksum(0), ref.Checksum(0))
+			}
+		})
+	}
+}
+
+func TestSolveSORParUntilHitsMaxIters(t *testing.T) {
+	g := hotGrid(12)
+	b := softbarrier.NewCombiningTree(3, 2, softbarrier.WithCollective(softbarrier.OpSumFloat64()))
+	sweeps, rms, err := g.SolveSORParUntil(3, 1.0, 0 /* eps: unreachable */, 4, 10, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweeps != 10 || rms <= 0 {
+		t.Fatalf("gave up after %d sweeps with RMS %v, want 10 and positive", sweeps, rms)
+	}
+	// The last check window is clipped: 4+4+2 sweeps, and the sequential
+	// cadence matches.
+	seqSweeps, seqRMS := hotGrid(12).SolveSORSeqUntil(1.0, 0, 4, 10, 3)
+	if seqSweeps != 10 || math.Float64bits(seqRMS) != math.Float64bits(rms) {
+		t.Fatalf("sequential gave %d sweeps RMS %v, parallel %d RMS %v", seqSweeps, seqRMS, 10, rms)
+	}
+}
+
+func TestSolveSORParUntilNeedsCollective(t *testing.T) {
+	g := hotGrid(12)
+	b := softbarrier.NewCombiningTree(3, 2) // no WithCollective
+	_, _, err := g.SolveSORParUntil(3, 1.0, 1e-6, 4, 8, b)
+	if !errors.Is(err, softbarrier.ErrNoCollective) {
+		t.Fatalf("err = %v, want ErrNoCollective", err)
+	}
+}

@@ -1,0 +1,70 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PlaceByDepth returns a clone of the tree with processors reassigned to
+// attachment slots by depth: order[0] takes the shallowest slot (for an
+// MCS tree, the root's local slot), order[1] the next shallowest, and so
+// on down to the deepest leaves. order must be a permutation of
+// 0..P-1 — typically the laggiest-first ranking from a lag profile — so
+// consistently late processors sit adjacent to the root and early ones at
+// the leaves. Slot structure (counter layout, fan-ins, which slots are
+// local) is unchanged; only which processor occupies which slot moves.
+//
+// Ring-constrained trees are refused: a processor's ring is physical and
+// relabeling across rings would teleport it to another ring's memory.
+func (t *Tree) PlaceByDepth(order []int) (*Tree, error) {
+	if t.Kind == Ring {
+		return nil, fmt.Errorf("topology: PlaceByDepth cannot relabel a ring-constrained tree")
+	}
+	if len(order) != t.P {
+		return nil, fmt.Errorf("topology: order has %d entries for %d processors", len(order), t.P)
+	}
+	seen := make([]bool, t.P)
+	for _, p := range order {
+		if p < 0 || p >= t.P || seen[p] {
+			return nil, fmt.Errorf("topology: order is not a permutation of 0..%d", t.P-1)
+		}
+		seen[p] = true
+	}
+
+	// Enumerate the attachment slots, shallowest first. Ties break by
+	// counter id then slot index, so the assignment is deterministic.
+	type slot struct {
+		counter int
+		idx     int // index into Counters[counter].Procs
+		depth   int
+	}
+	var slots []slot
+	for ci := range t.Counters {
+		d := t.Depth(ci)
+		for i := range t.Counters[ci].Procs {
+			slots = append(slots, slot{counter: ci, idx: i, depth: d})
+		}
+	}
+	sort.SliceStable(slots, func(a, b int) bool {
+		if slots[a].depth != slots[b].depth {
+			return slots[a].depth < slots[b].depth
+		}
+		if slots[a].counter != slots[b].counter {
+			return slots[a].counter < slots[b].counter
+		}
+		return slots[a].idx < slots[b].idx
+	})
+
+	nt := t.Clone()
+	for k, s := range slots {
+		p := order[k]
+		old := t.Counters[s.counter].Procs[s.idx]
+		nt.Counters[s.counter].Procs[s.idx] = p
+		if t.Counters[s.counter].Local == old {
+			nt.Counters[s.counter].Local = p
+		}
+		nt.first[p] = s.counter
+		nt.ringOf[p] = t.ringOf[old]
+	}
+	return nt, nil
+}

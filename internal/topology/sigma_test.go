@@ -1,0 +1,114 @@
+package topology
+
+import "testing"
+
+func TestPlaceByDepthRelabel(t *testing.T) {
+	tr := NewMCS(13, 3)
+	// Identity order must reproduce a valid tree with the same shape.
+	order := make([]int, tr.P)
+	for i := range order {
+		order[i] = i
+	}
+	nt, err := tr.PlaceByDepth(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A laggiest-first order must produce monotonically non-decreasing
+	// depths along the order: order[0] shallowest.
+	rev := make([]int, tr.P)
+	for i := range rev {
+		rev[i] = tr.P - 1 - i
+	}
+	nt, err = tr.PlaceByDepth(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for k, p := range rev {
+		d := nt.Depth(nt.FirstCounter(p))
+		if d < prev {
+			t.Fatalf("order[%d]=proc %d at depth %d, shallower than its predecessor (%d)", k, p, d, prev)
+		}
+		prev = d
+	}
+	// Shape invariants survive relabeling.
+	a, b := tr.ShapeStats(), nt.ShapeStats()
+	if a != b {
+		t.Fatalf("relabel changed the shape: %+v vs %+v", a, b)
+	}
+	// The first processor in the order owns the root local slot on an MCS
+	// tree (the unique depth-1 slot).
+	if got := nt.FirstCounter(rev[0]); got != nt.Root {
+		t.Fatalf("laggiest processor placed at counter %d, not the root %d", got, nt.Root)
+	}
+	if nt.Counters[nt.Root].Local != rev[0] {
+		t.Fatalf("root local is %d, want %d", nt.Counters[nt.Root].Local, rev[0])
+	}
+}
+
+func TestPlaceByDepthClassic(t *testing.T) {
+	tr := NewClassic(9, 3)
+	order := []int{8, 7, 6, 5, 4, 3, 2, 1, 0}
+	nt, err := tr.PlaceByDepth(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Classic trees attach every processor at the same depth, so the
+	// relabel is just a permutation of leaf assignments.
+	for p := 0; p < tr.P; p++ {
+		if nt.Depth(nt.FirstCounter(p)) != tr.Depth(tr.FirstCounter(p)) {
+			t.Fatalf("classic relabel changed processor %d depth", p)
+		}
+	}
+}
+
+func TestPlaceByDepthErrors(t *testing.T) {
+	tr := NewMCS(6, 2)
+	if _, err := tr.PlaceByDepth([]int{0, 1, 2}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := tr.PlaceByDepth([]int{0, 1, 2, 3, 4, 4}); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+	if _, err := tr.PlaceByDepth([]int{0, 1, 2, 3, 4, 6}); err == nil {
+		t.Fatal("out-of-range order accepted")
+	}
+	ring := NewRing([]int{4, 4}, 2)
+	ro := make([]int, ring.P)
+	for i := range ro {
+		ro[i] = i
+	}
+	if _, err := ring.PlaceByDepth(ro); err == nil {
+		t.Fatal("ring tree relabel accepted")
+	}
+}
+
+func TestPlaceByDepthDoesNotMutateOriginal(t *testing.T) {
+	tr := NewMCS(10, 2)
+	before := make([]int, tr.P)
+	for p := range before {
+		before[p] = tr.FirstCounter(p)
+	}
+	order := make([]int, tr.P)
+	for i := range order {
+		order[i] = (i + 3) % tr.P
+	}
+	if _, err := tr.PlaceByDepth(order); err != nil {
+		t.Fatal(err)
+	}
+	for p := range before {
+		if tr.FirstCounter(p) != before[p] {
+			t.Fatalf("PlaceByDepth mutated the original tree at proc %d", p)
+		}
+	}
+}

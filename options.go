@@ -39,6 +39,7 @@ type options struct {
 	treeWakeup   bool
 	watchdog     time.Duration
 	poisonNotify func(error)
+	collective   *rt.Op
 }
 
 func applyOptions(opts []Option) options {
@@ -107,6 +108,26 @@ func WithPoisonNotify(fn func(error)) Option {
 // the cost of log₂ p propagation hops. Other barriers ignore it.
 func WithTreeWakeup() Option {
 	return func(o *options) { o.treeWakeup = true }
+}
+
+// WithCollective arms the barrier's payload path: episodes may then carry
+// op.Width-byte contributions through AllReduce / Reduce / Broadcast (see
+// Collective), folded by op. The plain Wait path is untouched — a barrier
+// built with this option and driven only through Wait runs the same
+// zero-payload fast path as one built without it. The option panics at
+// construction on an invalid op (zero width, nil fold, mis-sized
+// identity); barriers that do not implement Collective ignore it.
+func WithCollective(op Op) Option {
+	return func(o *options) { o.collective = &op }
+}
+
+// reducer builds the barrier's payload reducer for p participants over
+// nodes counters, or nil when WithCollective was not given.
+func (o options) reducer(p, nodes int) *rt.Reducer {
+	if o.collective == nil {
+		return nil
+	}
+	return rt.NewReducer(*o.collective, p, nodes)
 }
 
 // withClock overrides the telemetry clock (tests only).

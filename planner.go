@@ -1,6 +1,9 @@
 package softbarrier
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Profile describes a workload's synchronization-relevant properties, in
 // the terms of the paper's evaluation: how many participants, how spread
@@ -146,4 +149,29 @@ func (r Recommendation) Build(pr Profile) Barrier {
 func Plan(pr Profile) (Barrier, Recommendation) {
 	rec := Recommend(pr)
 	return rec.Build(pr), rec
+}
+
+// ReduceOrder converts per-participant lag estimates (seconds behind the
+// episode's earliest arrival, e.g. an EWMA over observed episodes) into a
+// placement order for a combining tree: participant ids sorted laggiest
+// first. Feeding the order to topology.Tree.PlaceByDepth puts the
+// consistently late participants on the shallow slots adjacent to the
+// root — when a straggler finally arrives it climbs one or two counters
+// instead of a full leaf-to-root path, so its contribution folds last and
+// the release fires sooner — while the early arrivals sit at the leaves,
+// pre-reducing the bulk of the payload during the spread the stragglers
+// create. This is the static, measurement-driven counterpart of the §5
+// dynamic-placement barrier: same placement rule, applied offline from a
+// lag profile instead of online per episode. The sort is stable, so equal
+// lags keep their id order and the policy degenerates to the identity
+// order for uniform lag.
+func ReduceOrder(lags []float64) []int {
+	order := make([]int, len(lags))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return lags[order[a]] > lags[order[b]]
+	})
+	return order
 }

@@ -1,0 +1,76 @@
+package softbarrier
+
+import (
+	"testing"
+
+	"softbarrier/internal/barriersim"
+	"softbarrier/internal/stats"
+	"softbarrier/internal/topology"
+)
+
+func TestReduceOrder(t *testing.T) {
+	order := ReduceOrder([]float64{0.1, 0.5, 0.2, 0.5, 0.0})
+	want := []int{1, 3, 2, 0, 4} // laggiest first, ties stable by id
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	if got := ReduceOrder(nil); len(got) != 0 {
+		t.Fatalf("empty lags produced %v", got)
+	}
+	// Uniform lag degenerates to the identity order.
+	uniform := ReduceOrder([]float64{3, 3, 3})
+	for i, p := range uniform {
+		if p != i {
+			t.Fatalf("uniform lags reordered: %v", uniform)
+		}
+	}
+}
+
+// TestReduceOrderPlacementSim measures the σ-aware placement policy in the
+// event-driven simulator: under systemic imbalance (the same two
+// processors late every episode), relabeling the MCS tree laggiest-
+// shallowest must beat the naive id-order placement on mean sync delay,
+// because the straggler that releases the barrier climbs one counter
+// instead of a full leaf-to-root path.
+func TestReduceOrderPlacementSim(t *testing.T) {
+	const (
+		p        = 15
+		episodes = 300
+		sigma    = 20e-6
+		lagBig   = 500e-6
+	)
+	lags := make([]float64, p)
+	lags[3], lags[11] = lagBig, 0.6*lagBig // systemic stragglers
+
+	tree := topology.NewMCS(p, 2)
+	placed, err := tree.PlaceByDepth(ReduceOrder(lags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := placed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(tr *topology.Tree) float64 {
+		sim := barriersim.New(tr, barriersim.Config{})
+		rng := stats.NewRNG(7)
+		var delays []float64
+		for e := 0; e < episodes; e++ {
+			arrivals := make([]float64, p)
+			for i := range arrivals {
+				arrivals[i] = rng.NormFloat64()*sigma + lags[i]
+			}
+			delays = append(delays, sim.Episode(arrivals).SyncDelay)
+		}
+		return stats.Mean(delays)
+	}
+
+	naive := run(tree)
+	aware := run(placed)
+	t.Logf("mean sync delay: naive %.3gs, σ-aware %.3gs", naive, aware)
+	if aware >= naive {
+		t.Fatalf("σ-aware placement (%.3gs) did not beat naive placement (%.3gs)", aware, naive)
+	}
+}

@@ -40,6 +40,7 @@ type ReconfigurableBarrier struct {
 	ctrl *reconfig.Controller
 	est  rt.SigmaEstimator // EWMA of per-episode arrival spread, seconds
 	rec  *rt.Recorder      // always active: the control loop needs the spreads
+	red  *rt.Reducer       // payload reducer; nil without WithCollective
 	poisonCore
 }
 
@@ -135,7 +136,9 @@ func NewReconfigurable(p int, cfg ReconfigConfig, opts ...Option) *Reconfigurabl
 		func(p int, sigma float64) (int, bool) { return OptimalDegree(p, sigma, b.tc), false },
 		reconfig.Plan{P: p, Degree: cfg.InitialDegree},
 	)
-	b.state.Store(newRCState(nil, b.ctrl.Current(), 0))
+	st0 := newRCState(nil, b.ctrl.Current(), 0)
+	b.state.Store(st0)
+	b.red = o.reducer(p, len(st0.counters))
 	b.initPoison(p, o.watchdog, o.poisonNotify,
 		func() { b.gate.Poison() },
 		func() {
@@ -145,6 +148,9 @@ func NewReconfigurable(p int, cfg ReconfigConfig, opts ...Option) *Reconfigurabl
 				c.mu.Lock()
 				c.count = 0
 				c.mu.Unlock()
+			}
+			if b.red != nil {
+				b.red.Reset()
 			}
 			b.gate.Unpoison()
 		})
@@ -317,8 +323,176 @@ func (b *ReconfigurableBarrier) apply(prev *rcState, plan reconfig.Plan, epochGe
 		b.rec.Resize(plan.P)
 		b.resizeArrivals(plan.P)
 	}
+	// The reducer's deposit cells and node accumulators are rebuilt for
+	// the new tree; its published result buffers survive, so awaiters of
+	// the pre-rebuild episode still copy their in-flight result.
+	b.red.Resize(plan.P, len(next.counters))
 	b.state.Store(next)
 	b.ctrl.Commit(plan)
+}
+
+// AllReduce contributes in, completes one episode, and copies the
+// reduction of the epoch's contributions into out. A participant the
+// current epoch has shrunk away drains without contributing and without a
+// result — exactly as Wait drains it — so an elastic worker follows the
+// same protocol as ever: check Participants after each collective call
+// and stop once its id falls outside the membership (its final episode's
+// result is then not delivered locally; netbarrier sessions deliver it in
+// the Release frame instead). Epoch boundaries preserve in-flight
+// contributions: the rebuild happens at the quiescent release point,
+// after the episode's result is published into buffers that survive it.
+func (b *ReconfigurableBarrier) AllReduce(id int, in, out []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	b.arriveColl(id, in, reduceMode(b.red.Op()), 0)
+	return b.AwaitResult(id, out)
+}
+
+// Reduce is AllReduce with the result delivered only to root. root must
+// stay inside the membership for the episode.
+func (b *ReconfigurableBarrier) Reduce(id, root int, in, out []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	checkID(root, b.state.Load().p)
+	b.arriveColl(id, in, reduceMode(b.red.Op()), 0)
+	if id != root {
+		out = nil
+	}
+	return b.AwaitResult(id, out)
+}
+
+// Broadcast completes one episode delivering root's buf into every other
+// participant's buf.
+func (b *ReconfigurableBarrier) Broadcast(id, root int, buf []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	checkID(root, b.state.Load().p)
+	b.arriveColl(id, buf, collBcast, root)
+	if id == root {
+		buf = nil
+	}
+	return b.AwaitResult(id, buf)
+}
+
+// ArriveReduce is the fuzzy half of AllReduce: contribute and ascend
+// without waiting; collect with AwaitResult.
+func (b *ReconfigurableBarrier) ArriveReduce(id int, in []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	b.arriveColl(id, in, reduceMode(b.red.Op()), 0)
+	return nil
+}
+
+// AwaitResult blocks until ArriveReduce's episode completes and copies
+// its reduction into out (nil discards it). The copy is skipped — out is
+// left untouched — when this participant is outside the membership after
+// the release (it was draining, or was shrunk away at the episode's
+// boundary): such a participant is no longer ordered against future
+// episodes, so reading the shared result buffer would race with a later
+// publish. Call AwaitResult exactly once per ArriveReduce, before the
+// participant's next episode.
+func (b *ReconfigurableBarrier) AwaitResult(id int, out []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	st := b.state.Load()
+	checkID(id, len(st.myGen))
+	b.gate.Await(st.myGen[id].V)
+	if err := b.Err(); err != nil {
+		return err
+	}
+	// Re-load: the episode's release may have committed a new epoch, and
+	// membership is judged against the post-release state.
+	cur := b.state.Load()
+	if out != nil && id < cur.p {
+		b.red.CopyResult(cur.myGen[id].V, out)
+	}
+	return nil
+}
+
+// Reduced returns the published reduction of the given episode — see
+// TreeBarrier.Reduced.
+func (b *ReconfigurableBarrier) Reduced(episode uint64) []byte {
+	if b.red == nil {
+		return nil
+	}
+	return b.red.Result(episode)
+}
+
+// arriveColl is Arrive carrying a payload: Arrive's drain/hold protocol,
+// plus the mode-selected payload step (greedy fold, deposit cell, or
+// broadcast root deposit), with the episode's result published at the
+// root completion before the release.
+func (b *ReconfigurableBarrier) arriveColl(id int, in []byte, mode uint8, root int) {
+	st := b.state.Load()
+	checkID(id, len(st.myGen))
+	checkContribution(b.red, in)
+	if id >= st.p {
+		return // shrunk away; drain without contributing
+	}
+	for b.gate.Seq() < st.epochGen {
+		if b.poisoned() {
+			return
+		}
+		runtime.Gosched()
+	}
+	if b.poisoned() {
+		return
+	}
+	b.noteArrive(id)
+	gen := b.gate.Seq()
+	b.rec.Arrive(id, gen)
+	st.myGen[id].V = gen
+	switch mode {
+	case collCells:
+		b.red.Deposit(gen, id, in)
+	case collBcast:
+		if id == root {
+			b.red.Deposit(gen, id, in)
+		}
+	}
+	var carry []byte
+	if mode == collGreedy {
+		carry = in
+	}
+
+	c := st.tree.FirstCounter(id)
+	for c != topology.NoCounter {
+		tc := &st.counters[c]
+		tc.mu.Lock()
+		if mode == collGreedy {
+			b.red.FoldNode(c, carry)
+		}
+		tc.count++
+		last := tc.count == tc.fanIn
+		if last {
+			tc.count = 0
+			if mode == collGreedy {
+				carry = b.red.TakeNode(c)
+			}
+		}
+		tc.mu.Unlock()
+		if !last {
+			return
+		}
+		c = st.tree.Counters[c].Parent
+	}
+	// Root completed: publish the result while the cells and accumulators
+	// are quiescent — before release applies any epoch rebuild, so the
+	// fold runs over this episode's membership and tree.
+	switch mode {
+	case collGreedy:
+		b.red.PublishCarry(gen, carry)
+	case collCells:
+		b.red.FinishCells(gen, st.p)
+	case collBcast:
+		b.red.PublishCell(gen, root)
+	}
+	b.release(st)
 }
 
 // Await blocks participant id until the episode it arrived in completes
@@ -344,5 +518,6 @@ func (b *ReconfigurableBarrier) AwaitCtx(ctx context.Context, id int) error {
 
 var _ PhasedBarrier = (*ReconfigurableBarrier)(nil)
 var _ ContextBarrier = (*ReconfigurableBarrier)(nil)
+var _ Collective = (*ReconfigurableBarrier)(nil)
 var _ Resizable = (*ReconfigurableBarrier)(nil)
 var _ SigmaSource = (*ReconfigurableBarrier)(nil)

@@ -40,6 +40,7 @@ type TreeBarrier struct {
 	wakeFlag   []rt.Cell
 
 	rec *rt.Recorder
+	red *rt.Reducer // payload reducer; nil without WithCollective
 	poisonCore
 }
 
@@ -84,6 +85,7 @@ func newTreeBarrier(tree *topology.Tree, opts []Option) *TreeBarrier {
 		rt.InitCells(b.wakeFlag)
 	}
 	b.rec = o.recorder(tree.P, false)
+	b.red = o.reducer(tree.P, len(tree.Counters))
 	b.initPoison(tree.P, o.watchdog, o.poisonNotify,
 		func() {
 			b.gate.Poison()
@@ -100,6 +102,9 @@ func newTreeBarrier(tree *topology.Tree, opts []Option) *TreeBarrier {
 			}
 			for i := range b.wakeFlag {
 				b.wakeFlag[i].Reset()
+			}
+			if b.red != nil {
+				b.red.Reset()
 			}
 			b.gate.Unpoison()
 		})
@@ -165,6 +170,169 @@ func (b *TreeBarrier) ascend(c int) {
 	}
 }
 
+// AllReduce contributes in, completes one barrier episode, and copies the
+// reduction of all p contributions into out (out may alias in, or be nil
+// to discard). It returns ErrNoCollective on a barrier built without
+// WithCollective, and the poison cause if the episode was aborted. Every
+// participant must make the same collective call for the episode.
+func (b *TreeBarrier) AllReduce(id int, in, out []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	gen, ok := b.arriveColl(id, in, reduceMode(b.red.Op()), 0)
+	return b.finishColl(id, gen, ok, out)
+}
+
+// Reduce is AllReduce with the result delivered only to root; the other
+// participants' out arguments are ignored.
+func (b *TreeBarrier) Reduce(id, root int, in, out []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	checkID(root, b.p)
+	gen, ok := b.arriveColl(id, in, reduceMode(b.red.Op()), 0)
+	if id != root {
+		out = nil
+	}
+	return b.finishColl(id, gen, ok, out)
+}
+
+// Broadcast completes one episode delivering root's buf into every other
+// participant's buf (root's own buf is left untouched). buf must be
+// Op.Width bytes for every participant.
+func (b *TreeBarrier) Broadcast(id, root int, buf []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	checkID(root, b.p)
+	gen, ok := b.arriveColl(id, buf, collBcast, root)
+	if id == root {
+		buf = nil
+	}
+	return b.finishColl(id, gen, ok, buf)
+}
+
+// ArriveReduce is the fuzzy half of AllReduce/Reduce: it contributes in
+// and performs the ascent without waiting — do slack work, then collect
+// the result with AwaitResult. It returns ErrNoCollective on a barrier
+// built without WithCollective; on a poisoned barrier it is a no-op (the
+// matching AwaitResult reports the cause).
+func (b *TreeBarrier) ArriveReduce(id int, in []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	b.arriveColl(id, in, reduceMode(b.red.Op()), 0)
+	return nil
+}
+
+// AwaitResult blocks until the episode ArriveReduce contributed to
+// completes and copies its reduction into out (nil discards it).
+func (b *TreeBarrier) AwaitResult(id int, out []byte) error {
+	if b.red == nil {
+		return ErrNoCollective
+	}
+	checkID(id, b.p)
+	return b.finishColl(id, b.myGen[id].V, true, out)
+}
+
+// Reduced returns the published reduction of the given episode, for
+// coordinators that drive the barrier through ArriveReduce on behalf of
+// remote participants (internal/netbarrier). The slice is read-only and
+// valid until the episode two generations later is published; it is nil
+// without WithCollective.
+func (b *TreeBarrier) Reduced(episode uint64) []byte {
+	if b.red == nil {
+		return nil
+	}
+	return b.red.Result(episode)
+}
+
+// arriveColl is Arrive carrying a payload: mode selects how the
+// contribution travels (greedy fold during the ascent, deposit cell for
+// the releaser's id-order fold, or broadcast root deposit). It reports
+// the episode generation and whether the contribution was actually made
+// (false on a poisoned barrier).
+func (b *TreeBarrier) arriveColl(id int, in []byte, mode uint8, root int) (gen uint64, ok bool) {
+	checkID(id, b.p)
+	checkContribution(b.red, in)
+	if b.poisoned() {
+		return 0, false
+	}
+	b.noteArrive(id)
+	gen = b.gate.Seq()
+	b.rec.Arrive(id, gen)
+	b.myGen[id].V = gen
+	switch mode {
+	case collCells:
+		b.red.Deposit(gen, id, in)
+	case collBcast:
+		if id == root {
+			b.red.Deposit(gen, id, in)
+		}
+	}
+	var carry []byte
+	if mode == collGreedy {
+		carry = in
+	}
+	b.ascendColl(b.tree.FirstCounter(id), carry, mode, root, gen)
+	return gen, true
+}
+
+// ascendColl is ascend with the payload fold threaded through: in greedy
+// mode each counter's critical section additionally folds the carry, and
+// the root completion publishes the episode's result before the release.
+func (b *TreeBarrier) ascendColl(c int, carry []byte, mode uint8, root int, gen uint64) {
+	for c != topology.NoCounter {
+		tc := &b.counters[c]
+		tc.mu.Lock()
+		if mode == collGreedy {
+			b.red.FoldNode(c, carry)
+		}
+		tc.count++
+		last := tc.count == tc.fanIn
+		if last {
+			tc.count = 0
+			if mode == collGreedy {
+				carry = b.red.TakeNode(c)
+			}
+		}
+		tc.mu.Unlock()
+		if !last {
+			return
+		}
+		c = b.tree.Counters[c].Parent
+	}
+	// Root completed: publish the episode's result while the cells and
+	// accumulators are quiescent, then measure and release as usual.
+	switch mode {
+	case collGreedy:
+		b.red.PublishCarry(gen, carry)
+	case collCells:
+		b.red.FinishCells(gen, b.p)
+	case collBcast:
+		b.red.PublishCell(gen, root)
+	}
+	b.rec.Release(b.gate.Seq(), rt.Extra{Degree: b.tree.Degree})
+	g := b.gate.Open()
+	if b.treeWakeup {
+		b.wakeFlag[0].Set(g)
+	}
+}
+
+// finishColl awaits the episode and copies its result out. contributed is
+// false when the arrival was a poisoned no-op — then there is no result
+// to copy, and Err carries the cause.
+func (b *TreeBarrier) finishColl(id int, gen uint64, contributed bool, out []byte) error {
+	b.Await(id)
+	if err := b.Err(); err != nil {
+		return err
+	}
+	if contributed && out != nil {
+		b.red.CopyResult(gen, out)
+	}
+	return nil
+}
+
 // Await blocks participant id until the episode it arrived in completes.
 func (b *TreeBarrier) Await(id int) {
 	checkID(id, b.p)
@@ -204,3 +372,4 @@ func (b *TreeBarrier) AwaitCtx(ctx context.Context, id int) error {
 
 var _ PhasedBarrier = (*TreeBarrier)(nil)
 var _ ContextBarrier = (*TreeBarrier)(nil)
+var _ Collective = (*TreeBarrier)(nil)
