@@ -7,12 +7,19 @@
 //
 //	barrierd [-listen 127.0.0.1:7643] [-watchdog 10s] [-replan 10]
 //	         [-dynamic] [-elastic] [-tc SECONDS] [-sigma SECONDS]
-//	         [-collective OP]
+//	         [-collective OP] [-placement POLICY]
 //
 // With -elastic, session membership may change between episodes: joins
 // against a full session are parked and admitted at the next episode
 // boundary, and a Leave shrinks the cohort at the next boundary instead
 // of retiring the session only when everyone has left.
+//
+// With -placement, each session runs a predictive straggler-placement
+// policy (reactive, ewma, trend, ewma-hys): the server observes every
+// episode's arrival lags and, on the -replan cadence, rebuilds the
+// session's combining tree with predicted stragglers in the shallowest
+// slots. Placed sessions use MCS-shaped trees, whose depth diversity is
+// what placement exploits.
 //
 // With -collective, every session is an AllReduce: arrivals may carry
 // contributions (clients use ArriveReduce/AllReduce), releases carry the
@@ -69,8 +76,12 @@ func main() {
 	if opt.Op != nil {
 		coll = opt.Op.Name
 	}
-	log.Printf("listening on %s (watchdog %v, replan every %d episodes, dynamic %v, elastic %v, collective %s)",
-		ln.Addr(), opt.Watchdog, opt.ReplanEvery, opt.Dynamic, opt.Elastic, coll)
+	place := nf.Placement
+	if place == "" {
+		place = "none"
+	}
+	log.Printf("listening on %s (watchdog %v, replan every %d episodes, dynamic %v, elastic %v, collective %s, placement %s)",
+		ln.Addr(), opt.Watchdog, opt.ReplanEvery, opt.Dynamic, opt.Elastic, coll, place)
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, netbarrier.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -5,20 +5,28 @@
 //
 //	barriersim -p 4096 -degree 16 -sigma 0.25ms [-tree mcs] [-dynamic]
 //	           [-slack 4ms] [-episodes 200] [-warmup 20] [-tc 20us] [-seed 1]
-//	           [-cache DIR] [-workers N]
+//	           [-placement ewma] [-replan 5] [-cache DIR] [-workers N]
 //
 // Durations accept Go syntax (e.g. 250us, 0.25ms). With -cache, the run's
 // result is memoized on disk under its full configuration, so repeating a
 // configuration is instant; -trace and -tracefile runs bypass the cache
 // (the timeline needs a live simulation, and trace files are not hashed).
+//
+// With -placement, a predictive straggler-placement policy (see
+// softbarrier.PlacementNames) observes every episode's arrival lags and,
+// every -replan episodes, rebuilds the tree with its laggiest-first
+// ranking in the shallowest slots. Placement runs ignore -slack (the
+// policy engine drives episodes directly) and bypass the cache.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"softbarrier"
 	"softbarrier/internal/barriersim"
 	"softbarrier/internal/cli"
 	"softbarrier/internal/model"
@@ -41,6 +49,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "PRNG seed")
 		showTr   = flag.Bool("trace", false, "print the final episode's counter timeline")
 		traceIn  = flag.String("tracefile", "", "replay work times from a trace file (see cmd/tracegen) instead of -sigma")
+		place    = flag.String("placement", "", "predictive straggler-placement policy, one of: "+strings.Join(softbarrier.PlacementNames(), ", "))
+		replan   = flag.Int("replan", 5, "episodes between placement re-plans (with -placement)")
 		treeF    = cli.AddTreeFlags()
 		engF     = cli.AddEngineFlags()
 	)
@@ -80,6 +90,26 @@ func main() {
 	if w == nil {
 		w = workload.IID{N: *p, Dist: stats.Normal{Sigma: sigma.Seconds()}}
 	}
+
+	if *place != "" {
+		mk, err := cli.Placement(*place)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		pr := barriersim.RunPlacement(tree, cfg, w, mk(), *replan, *warmup, *episodes, *seed)
+		st := tree.ShapeStats()
+		fmt.Printf("tree: %s degree=%d levels=%d counters=%d mean depth=%.2f\n",
+			tree.Kind, tree.Degree, tree.Levels, st.Counters, st.MeanDepth)
+		fmt.Printf("placement: %s, re-planned every %d episodes, %d rebuilds\n",
+			*place, *replan, pr.Rebuilds)
+		fmt.Printf("workload: %v, %d episodes after %d warm-up\n", w, *episodes, *warmup)
+		fmt.Printf("mean sync delay: %v (update %v + contention %v)\n",
+			cli.Dur(pr.MeanSync), cli.Dur(pr.MeanUpdate), cli.Dur(pr.MeanContention))
+		fmt.Printf("p95 sync delay:  %v\n", cli.Dur(stats.Percentile(pr.SyncDelays, 95)))
+		return
+	}
+
 	var rec *trace.Recorder
 	run := func(int, uint64) barriersim.RunResult {
 		it := workload.NewIterator(w, slack.Seconds(), *seed)

@@ -1,8 +1,9 @@
 // Command benchtraj records the repo's performance trajectory: it runs
 // the hot-path benchmark suite (in-process barrier episodes, loopback
-// netbarrier at 2/8/64 clients, netbarrier AllReduce at 8/64) via
-// `go test -bench` and writes the parsed results as BENCH_<n>.json, one
-// file per PR. Future PRs regenerate with the next -n and diff against
+// netbarrier at 2/8/64/512 clients, netbarrier AllReduce at 8/64, and
+// the placement-policy simulation with its simsync-ns/op quality metric)
+// via `go test -bench` and writes the parsed results as BENCH_<n>.json,
+// one file per PR. Future PRs regenerate with the next -n and diff against
 // the committed history, so perf claims land as measured before/afters
 // (ROADMAP item 3).
 //
@@ -38,6 +39,7 @@ var suite = []struct {
 }{
 	{".", "BenchmarkWaiterPolicies|BenchmarkRuntimeBarriers"},
 	{"./internal/netbarrier", "BenchmarkNetBarrier|BenchmarkNetAllReduce"},
+	{"./internal/barriersim", "BenchmarkPlacementPolicies"},
 }
 
 // Result is one parsed benchmark line.
@@ -47,13 +49,20 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int    `json:"b_per_op,omitempty"`
 	AllocsPerOp *int    `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric columns (e.g. the placement
+	// benchmarks' simsync-ns/op quality metric), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// benchLine matches go test's benchmark output, with the optional
-// -benchmem columns:
+// benchLine matches go test's benchmark output: the fixed ns/op column,
+// then any mix of -benchmem columns and custom ReportMetric columns,
+// captured as a tail of value/unit pairs:
 //
-//	BenchmarkFoo/bar-8   300   1234 ns/op   16 B/op   2 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+//	BenchmarkFoo/bar-8   300   1234 ns/op   5678 simsync-ns/op   16 B/op   2 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op((?:\s+[0-9.]+ \S+)*)$`)
+
+// metricPair splits the tail into its value/unit pairs.
+var metricPair = regexp.MustCompile(`([0-9.]+) (\S+)`)
 
 // parseBench extracts the Results from one `go test -bench` run's output,
 // qualifying names with pkg.
@@ -73,10 +82,24 @@ func parseBench(pkg string, out []byte) ([]Result, error) {
 			return nil, fmt.Errorf("benchtraj: bad ns/op in %q: %v", line, err)
 		}
 		r := Result{Name: strings.TrimPrefix(pkg+"/", "./") + m[1], Iters: iters, NsPerOp: ns}
-		if m[4] != "" {
-			b, _ := strconv.Atoi(m[4])
-			a, _ := strconv.Atoi(m[5])
-			r.BytesPerOp, r.AllocsPerOp = &b, &a
+		for _, pair := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchtraj: bad metric in %q: %v", line, err)
+			}
+			switch unit := pair[2]; unit {
+			case "B/op":
+				b := int(v)
+				r.BytesPerOp = &b
+			case "allocs/op":
+				a := int(v)
+				r.AllocsPerOp = &a
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
+			}
 		}
 		rs = append(rs, r)
 	}

@@ -84,6 +84,7 @@ func NewDynamicRing(ringSizes []int, degree int, opts ...Option) *DynamicBarrier
 // and would never migrate anyone.
 func NewDynamicFromTree(tree *topology.Tree, opts ...Option) *DynamicBarrier {
 	o := applyOptions(opts)
+	tree = placeTree(tree, o.placeOrder)
 	b := &DynamicBarrier{
 		p:        tree.P,
 		tree:     tree,
@@ -164,6 +165,12 @@ func (b *DynamicBarrier) DepthOf(id int) int {
 		c = b.counters[c].parent
 	}
 	return n
+}
+
+// LagsInto reads the given episode's per-participant arrival lags into
+// dst — see TreeBarrier.LagsInto. Releaser-only; nil without an observer.
+func (b *DynamicBarrier) LagsInto(episode uint64, dst []float64) []float64 {
+	return b.rec.LagsInto(episode, dst)
 }
 
 // Wait blocks until all participants arrive.

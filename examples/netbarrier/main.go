@@ -15,19 +15,36 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"sync"
 	"time"
 
 	"softbarrier/internal/cli"
+	"softbarrier/internal/loadmodel"
 	"softbarrier/internal/netbarrier"
+	"softbarrier/internal/stats"
 )
 
 const (
 	workers  = 16
 	episodes = 100
 )
+
+// phasedDelays pre-draws the per-episode, per-worker arrival delays: 40
+// quiet episodes, 30 with jitter uniform in [0, 1.5ms), quiet again to
+// the end. One shared schedule (instead of a per-client RNG) keeps the
+// workload description in one place — the same loadmodel generators the
+// simulator sweeps.
+func phasedDelays() [][]float64 {
+	quiet := loadmodel.IID{N: workers, Dist: stats.Degenerate{}}
+	burst := loadmodel.IID{N: workers, Dist: stats.Uniform{Hi: 1500e-6}}
+	gen := loadmodel.Phased{Phases: []loadmodel.Phase{
+		{Episodes: 40, Gen: quiet},
+		{Episodes: 30, Gen: burst},
+		{Episodes: 0, Gen: quiet}, // runs forever
+	}}
+	return loadmodel.Schedule(gen, episodes, 1)
+}
 
 func main() {
 	nf := cli.AddNetFlags()
@@ -69,6 +86,7 @@ func main() {
 	// Client 0 reports each episode's telemetry; all clients run the
 	// phased workload. Releases are identical on every socket, so one
 	// reporter suffices.
+	delays := phasedDelays()
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
 	rels := make([]netbarrier.Release, episodes)
@@ -77,10 +95,9 @@ func main() {
 		go func(i int, c *netbarrier.Client) {
 			defer wg.Done()
 			defer c.Leave()
-			rng := rand.New(rand.NewSource(int64(i) + 1))
 			for ep := 0; ep < episodes; ep++ {
-				if ep >= 40 && ep < 70 { // the imbalanced phase
-					time.Sleep(time.Duration(rng.Int63n(1500)) * time.Microsecond)
+				if d := delays[ep][i]; d > 0 {
+					time.Sleep(time.Duration(d * float64(time.Second)))
 				}
 				r, err := c.Wait()
 				if err != nil {

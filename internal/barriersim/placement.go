@@ -1,0 +1,110 @@
+package barriersim
+
+import (
+	"softbarrier/internal/loadmodel"
+	"softbarrier/internal/stats"
+	"softbarrier/internal/topology"
+)
+
+// PolicyRun extends RunResult with the placement activity of a
+// policy-driven run.
+type PolicyRun struct {
+	RunResult
+	// Rebuilds counts the placement rebuilds the policy triggered (each
+	// discards counter-contention state, like the runtime's epoch swap).
+	Rebuilds int
+}
+
+// RunPlacement simulates episodes fed by gen while pol predicts straggler
+// placement: after every episode the policy observes the arrival lags, and
+// every replanEvery episodes (<=1 means every episode) its current ranking
+// — when it has one that differs from the placement in force — rebuilds
+// the tree with tree.PlaceByDepth, putting predicted stragglers in the
+// shallowest slots. A nil pol is the static baseline: same workload, same
+// seed, natural placement throughout. The first warmup episodes (policy
+// convergence) are excluded from the aggregates.
+//
+// The caller's tree is never mutated; rebuilds re-place the original.
+func RunPlacement(tree *topology.Tree, cfg Config, gen loadmodel.Generator, pol loadmodel.PlacementPolicy, replanEvery, warmup, episodes int, seed uint64) PolicyRun {
+	if episodes <= 0 {
+		panic("barriersim: need at least one measured episode")
+	}
+	if gen.P() != tree.P {
+		panic("barriersim: generator and tree disagree on P")
+	}
+	if replanEvery <= 0 {
+		replanEvery = 1
+	}
+	r := stats.NewRNG(seed)
+	sim := New(tree, cfg)
+	pr := PolicyRun{RunResult: RunResult{Episodes: episodes, SyncDelays: make([]float64, 0, episodes)}}
+	arrivals := make([]float64, tree.P)
+	lags := make([]float64, tree.P)
+	var cur []int // order in force; nil = natural placement
+	comms := 0
+	for k := 0; k < warmup+episodes; k++ {
+		gen.Times(k, r, arrivals)
+		er := sim.Episode(arrivals)
+		if k >= warmup {
+			pr.MeanSync += er.SyncDelay
+			pr.MeanUpdate += er.UpdateDelay
+			pr.MeanContention += er.ContentionDelay
+			pr.MeanLastDepth += float64(er.LastProcDepth)
+			pr.MeanSwaps += float64(er.Swaps)
+			comms += er.Comms
+			pr.SyncDelays = append(pr.SyncDelays, er.SyncDelay)
+		}
+		if pol == nil {
+			continue
+		}
+		first := arrivals[0]
+		for _, a := range arrivals[1:] {
+			if a < first {
+				first = a
+			}
+		}
+		for i, a := range arrivals {
+			lags[i] = a - first
+		}
+		pol.Observe(lags)
+		if (k+1)%replanEvery != 0 {
+			continue
+		}
+		order := pol.Order()
+		if order == nil || orderEq(order, cur, tree.P) {
+			continue
+		}
+		placed, err := tree.PlaceByDepth(order)
+		if err != nil {
+			panic("barriersim: " + err.Error())
+		}
+		sim = New(placed, cfg)
+		cur = append(cur[:0], order...)
+		pr.Rebuilds++
+	}
+	n := float64(episodes)
+	pr.MeanSync /= n
+	pr.MeanUpdate /= n
+	pr.MeanContention /= n
+	pr.MeanLastDepth /= n
+	pr.MeanSwaps /= n
+	pr.CommOverhead = float64(comms) / (n * float64(sim.baseComms))
+	return pr
+}
+
+// orderEq reports whether a and b describe the same placement of p
+// processors; nil means the identity (natural) placement.
+func orderEq(a, b []int, p int) bool {
+	id := func(o []int, i int) int {
+		if o == nil {
+			return i
+		}
+		return o[i]
+	}
+	for i := 0; i < p; i++ {
+		if id(a, i) != id(b, i) {
+			return false
+		}
+	}
+	return true
+}

@@ -160,6 +160,10 @@ type NetFlags struct {
 	// Collective names a built-in reduction op (softbarrier.OpByName);
 	// "" serves plain barrier sessions.
 	Collective string
+	// Placement names a predictive straggler-placement policy
+	// (softbarrier.PlacementByName); "" (or "static") keeps the natural
+	// placement.
+	Placement string
 	// Tc is the model's counter-update cost in seconds; 0 = the paper's 20µs.
 	Tc float64
 	// Sigma is the arrival spread assumed before any episode is measured.
@@ -178,7 +182,23 @@ func AddNetFlags() *NetFlags {
 	flag.Float64Var(&f.Sigma, "sigma", 0, "assumed arrival spread in seconds before measurement")
 	flag.StringVar(&f.Collective, "collective", "",
 		"serve collective sessions folding contributions with this op, one of: "+strings.Join(softbarrier.OpNames(), ", "))
+	flag.StringVar(&f.Placement, "placement", "",
+		"predictive straggler-placement policy, one of: "+strings.Join(softbarrier.PlacementNames(), ", "))
 	return f
+}
+
+// Placement resolves a policy name to its constructor, erroring on an
+// unknown name with the valid ones listed. "" resolves to no policy
+// (nil, nil): the natural placement.
+func Placement(name string) (func() softbarrier.PlacementPolicy, error) {
+	if name == "" {
+		return nil, nil
+	}
+	mk, ok := softbarrier.PlacementByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown placement policy %q (have: %s)", name, strings.Join(softbarrier.PlacementNames(), ", "))
+	}
+	return mk, nil
 }
 
 // Options maps the flags onto a netbarrier server configuration. Logf is
@@ -200,5 +220,10 @@ func (f *NetFlags) Options() (netbarrier.Options, error) {
 		}
 		opt.Op = &op
 	}
+	mk, err := Placement(f.Placement)
+	if err != nil {
+		return opt, err
+	}
+	opt.Placement = mk
 	return opt, nil
 }

@@ -39,8 +39,8 @@ func TestOptionsScaled(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(ids))
 	}
 	for _, id := range ids {
 		if _, err := Lookup(id); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"softbarrier/internal/barriersim"
+	"softbarrier/internal/loadmodel"
 	"softbarrier/internal/model"
 	"softbarrier/internal/stats"
 	"softbarrier/internal/topology"
@@ -130,6 +131,15 @@ func Ext3(o Options) *Table {
 	phases := []ext3Phase{{0.5, o.Episodes}, {50, o.Episodes}}
 	const window = 10
 
+	// The regime change is a loadmodel.Phased workload; IID draws through
+	// the shared RNG are byte-identical to the former inline sample loop,
+	// so cached sweep results stay valid.
+	gen := loadmodel.Phased{Phases: []loadmodel.Phase{
+		{Episodes: phases[0].episodes, Gen: loadmodel.IID{N: p, Dist: stats.Normal{Sigma: phases[0].sigmaTc * Tc}}},
+		{Episodes: phases[1].episodes, Gen: loadmodel.IID{N: p, Dist: stats.Normal{Sigma: phases[1].sigmaTc * Tc}}},
+	}}
+	arr := make([]float64, p)
+
 	r := stats.NewRNG(o.Seed + 33)
 	// Fixed-degree simulators persist across phases, like the adaptive one.
 	fixed4 := barriersim.New(topology.NewClassic(p, 4), barriersim.Config{})
@@ -146,7 +156,7 @@ func Ext3(o Options) *Table {
 		// table reports the settled second half.
 		measureFrom := ph.episodes / 2
 		for k := 0; k < ph.episodes; k++ {
-			arr := workload.SampleArrivals(p, stats.Normal{Sigma: ph.sigmaTc * Tc}, r)
+			gen.Times(episode, r, arr)
 			e4 := fixed4.Episode(arr).SyncDelay
 			e64 := fixed64.Episode(arr).SyncDelay
 			ea := adaptive.Episode(arr).SyncDelay

@@ -32,6 +32,7 @@ var registry = []struct {
 	{"EXT6", Ext6},
 	{"EXT7", Ext7},
 	{"EXT8", Ext8},
+	{"EXT9", Ext9},
 }
 
 // IDs returns all experiment IDs in presentation order.

@@ -1,0 +1,275 @@
+package loadmodel
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"softbarrier/internal/stats"
+)
+
+func TestLoadModelGenerators(t *testing.T) {
+	r := stats.NewRNG(1)
+	dst := make([]float64, 8)
+
+	t.Run("static skew offsets persist", func(t *testing.T) {
+		g := StaticSkew{Base: IID{N: 8, Dist: stats.Degenerate{V: 1}}, Offsets: LinearOffsets(8, 0.8)}
+		for k := 0; k < 3; k++ {
+			g.Times(k, r, dst)
+			if got := dst[7] - dst[0]; math.Abs(got-0.8) > 1e-12 {
+				t.Fatalf("episode %d: spread = %g, want 0.8", k, got)
+			}
+		}
+	})
+
+	t.Run("heavy tail nonnegative", func(t *testing.T) {
+		g := HeavyTail{N: 8, Scale: 1e-3, Alpha: 2}
+		for k := 0; k < 100; k++ {
+			g.Times(k, r, dst)
+			for i, v := range dst {
+				if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+					t.Fatalf("episode %d participant %d: %g", k, i, v)
+				}
+			}
+		}
+	})
+
+	t.Run("bursty adds extra only in bursts", func(t *testing.T) {
+		g := &Bursty{Base: IID{N: 8, Dist: stats.Degenerate{V: 0}}, Extra: 1, OnProb: 0.5, StayProb: 0.9}
+		bursts := 0
+		for k := 0; k < 200; k++ {
+			g.Times(k, r, dst)
+			for _, v := range dst {
+				switch v {
+				case 0:
+				case 1:
+					bursts++
+				default:
+					t.Fatalf("episode %d: time %g not 0 or Extra", k, v)
+				}
+			}
+		}
+		if bursts == 0 {
+			t.Fatal("no bursts in 200 episodes at OnProb=0.5")
+		}
+	})
+
+	t.Run("history noise clamps factors", func(t *testing.T) {
+		g := &HistoryNoise{Base: IID{N: 8, Dist: stats.Degenerate{V: 1}}, Step: 0.5, Limit: 2}
+		for k := 0; k < 500; k++ {
+			g.Times(k, r, dst)
+			for i, v := range dst {
+				if v < 0.5-1e-12 || v > 2+1e-12 {
+					t.Fatalf("episode %d participant %d: %g outside [1/Limit, Limit]", k, i, v)
+				}
+			}
+		}
+	})
+
+	t.Run("chunk skew deals remainder to low ids", func(t *testing.T) {
+		g := ChunkSkew{N: 8, Chunks: 11, ChunkTime: 1e-3}
+		g.Times(0, r, dst)
+		for i, v := range dst {
+			want := 1e-3
+			if i < 3 { // 11 mod 8 = 3 participants carry 2 chunks
+				want = 2e-3
+			}
+			if math.Abs(v-want) > 1e-15 {
+				t.Fatalf("participant %d: %g, want %g", i, v, want)
+			}
+		}
+	})
+
+	t.Run("phased switches on schedule", func(t *testing.T) {
+		g := Phased{Phases: []Phase{
+			{Episodes: 2, Gen: IID{N: 8, Dist: stats.Degenerate{V: 1}}},
+			{Episodes: 3, Gen: IID{N: 8, Dist: stats.Degenerate{V: 2}}},
+			{Gen: IID{N: 8, Dist: stats.Degenerate{V: 3}}},
+		}}
+		want := []float64{1, 1, 2, 2, 2, 3, 3, 3, 3, 3}
+		for k, w := range want {
+			g.Times(k, r, dst)
+			if dst[0] != w {
+				t.Fatalf("episode %d: %g, want %g", k, dst[0], w)
+			}
+		}
+	})
+}
+
+// TestLoadModelDriftMatchesLegacy pins the Drift sample stream: the sweep
+// cache keys experiment results by workload String() + seed, so the
+// refactor out of internal/workload must not change a single draw.
+func TestLoadModelDriftMatchesLegacy(t *testing.T) {
+	gen := &Drift{N: 4, Dist: stats.Normal{Mu: 1e-3, Sigma: 1e-4}, Rho: 0.9, InnovSigma: 1e-4}
+	r := stats.NewRNG(42)
+	dst := make([]float64, 4)
+
+	// Reference: the pre-refactor Evolving.Times body, inlined.
+	bias := make([]float64, 4)
+	rr := stats.NewRNG(42)
+	want := make([]float64, 4)
+	for k := 0; k < 50; k++ {
+		gen.Times(k, r, dst)
+		for i := range want {
+			bias[i] = 0.9*bias[i] + 1e-4*rr.NormFloat64()
+			want[i] = (stats.Normal{Mu: 1e-3, Sigma: 1e-4}).Sample(rr) + bias[i]
+		}
+		if !reflect.DeepEqual(dst, want) {
+			t.Fatalf("episode %d: draw stream diverged: %v != %v", k, dst, want)
+		}
+	}
+}
+
+func TestLoadModelSchedule(t *testing.T) {
+	g := StaticSkew{Base: IID{N: 4, Dist: stats.Degenerate{V: 1e-3}}, Offsets: LinearOffsets(4, 1e-3)}
+	a := Schedule(g, 10, 7)
+	b := Schedule(g, 10, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Schedule not deterministic for equal seeds")
+	}
+	if len(a) != 10 || len(a[0]) != 4 {
+		t.Fatalf("shape %dx%d, want 10x4", len(a), len(a[0]))
+	}
+}
+
+func TestPlacementRank(t *testing.T) {
+	got := Rank([]float64{0, 5e-3, 1e-3})
+	if !reflect.DeepEqual(got, []int{1, 2, 0}) {
+		t.Fatalf("Rank = %v, want [1 2 0]", got)
+	}
+	// Ties keep ascending-id order: uniform lags rank as identity.
+	if got := Rank([]float64{1, 1, 1, 1}); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("uniform Rank = %v, want identity", got)
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	straggler5 := []float64{0, 0, 0, 0, 0, 5e-4, 0, 0}
+	straggler2 := []float64{0, 0, 5e-4, 0, 0, 0, 0, 0}
+
+	t.Run("static never orders", func(t *testing.T) {
+		var p Static
+		p.Observe(straggler5)
+		if p.Order() != nil {
+			t.Fatal("Static emitted an order")
+		}
+	})
+
+	t.Run("reactive tracks last episode", func(t *testing.T) {
+		p := &Reactive{}
+		if p.Order() != nil {
+			t.Fatal("order before any episode")
+		}
+		p.Observe(straggler5)
+		if ord := p.Order(); ord[0] != 5 {
+			t.Fatalf("order %v, want 5 first", ord)
+		}
+		p.Observe(straggler2)
+		if ord := p.Order(); ord[0] != 2 {
+			t.Fatalf("order %v after switch, want 2 first", ord)
+		}
+	})
+
+	t.Run("ewma resists one-off noise", func(t *testing.T) {
+		p := &EWMA{}
+		for i := 0; i < 20; i++ {
+			p.Observe(straggler5)
+		}
+		p.Observe(straggler2) // single noisy episode
+		if ord := p.Order(); ord[0] != 5 {
+			t.Fatalf("order %v after one noisy episode, want 5 still first", ord)
+		}
+		for i := 0; i < 40; i++ {
+			p.Observe(straggler2)
+		}
+		if ord := p.Order(); ord[0] != 2 {
+			t.Fatalf("order %v after sustained switch, want 2 first", ord)
+		}
+	})
+
+	t.Run("ewma resets on membership change", func(t *testing.T) {
+		p := &EWMA{}
+		p.Observe(straggler5)
+		p.Observe([]float64{0, 1e-3, 0, 0}) // p changed 8 -> 4
+		ord := p.Order()
+		if len(ord) != 4 || ord[0] != 1 {
+			t.Fatalf("order %v after resize, want len 4 with 1 first", ord)
+		}
+	})
+
+	t.Run("trend predicts the climber", func(t *testing.T) {
+		p := &Trend{Window: 6}
+		if p.Order() != nil {
+			t.Fatal("order before two episodes")
+		}
+		// Participant 1 holds a constant 4e-4 lag; participant 6 climbs
+		// through it and should outrank it on the extrapolation.
+		for k := 0; k < 5; k++ {
+			lags := make([]float64, 8)
+			lags[1] = 4e-4
+			lags[6] = float64(k) * 1e-4 // reaches 4e-4, predicted 5e-4 next
+			p.Observe(lags)
+		}
+		if ord := p.Order(); ord[0] != 6 {
+			t.Fatalf("order %v, want climbing participant 6 first", ord)
+		}
+	})
+
+	t.Run("hysteresis suppresses small shifts", func(t *testing.T) {
+		p := &Hysteresis{Inner: &Reactive{}, MinShift: 0.25}
+		p.Observe(straggler5)
+		first := p.Order()
+		if first == nil || first[0] != 5 {
+			t.Fatalf("first order %v, want emitted with 5 first", first)
+		}
+		// Tiny perturbation: same straggler, near-tied tail ids jitter.
+		perturbed := []float64{0, 1e-9, 0, 0, 0, 5e-4, 0, 0}
+		p.Observe(perturbed)
+		if ord := p.Order(); ord != nil {
+			t.Fatalf("hysteresis leaked a near-identical order %v", ord)
+		}
+		// A genuine straggler change passes.
+		p.Observe(straggler2)
+		if ord := p.Order(); ord == nil || ord[0] != 2 {
+			t.Fatalf("order %v after real switch, want 2 first", ord)
+		}
+	})
+
+	t.Run("registry", func(t *testing.T) {
+		for _, name := range PolicyNames() {
+			mk, ok := PolicyByName(name)
+			if !ok {
+				t.Fatalf("PolicyByName(%q) missing", name)
+			}
+			pol := mk()
+			if pol == nil {
+				t.Fatalf("factory %q returned nil", name)
+			}
+			pol.Observe(straggler5)
+			pol.Observe(straggler5)
+			ord := pol.Order()
+			if name != "static" && (ord == nil || ord[0] != 5) {
+				t.Fatalf("%s: order %v after two straggler episodes, want 5 first", name, ord)
+			}
+			if name == "static" && ord != nil {
+				t.Fatalf("static emitted %v", ord)
+			}
+		}
+		if _, ok := PolicyByName("nope"); ok {
+			t.Fatal("unknown name resolved")
+		}
+	})
+}
+
+func TestPlacementRankShift(t *testing.T) {
+	a := []int{0, 1, 2, 3}
+	if s := rankShift(a, []int{0, 1, 2, 3}); s != 0 {
+		t.Fatalf("equal orders shift %g, want 0", s)
+	}
+	if s := rankShift(a, []int{3, 2, 1, 0}); math.Abs(s-0.75) > 1e-12 {
+		t.Fatalf("reversal shift %g, want 0.75", s)
+	}
+	if s := rankShift(a, []int{1, 0, 2, 3}); math.Abs(s-0.25) > 1e-12 {
+		t.Fatalf("adjacent swap shift %g, want 0.25", s)
+	}
+}

@@ -11,9 +11,11 @@ import (
 // every client sends Arrive and blocks for its Release frame, so ns/op is
 // the wall-clock cost of one complete episode at each cohort size —
 // the number to put next to the in-process waiter-policy benchmarks when
-// deciding whether a workload can afford a network hop per episode.
+// deciding whether a workload can afford a network hop per episode. The
+// 512-client point probes the fan-out's scaling edge (hundreds of
+// sockets sharing one releaser).
 func BenchmarkNetBarrier(b *testing.B) {
-	for _, p := range []int{2, 8, 64} {
+	for _, p := range []int{2, 8, 64, 512} {
 		b.Run(fmt.Sprintf("%dclients", p), func(b *testing.B) {
 			addr, _ := startServer(b, Options{Watchdog: 30 * time.Second})
 			clients := make([]*Client, p)

@@ -1,0 +1,122 @@
+package netbarrier
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"softbarrier"
+)
+
+// TestSessionPredictivePlacement drives an elastic session with a
+// configured placement policy and one systemic straggler over TCP: the
+// server must observe the arrival lags, rebuild the session's MCS tree
+// with the predicted straggler in the shallowest slot (SessionStats.
+// Depths), count the rebuild in Reconfig.Placements, and follow the
+// straggler when it moves.
+func TestSessionPredictivePlacement(t *testing.T) {
+	const (
+		p       = 6
+		session = "placed"
+	)
+	mk, ok := softbarrier.PlacementByName("ewma")
+	if !ok {
+		t.Fatal("no ewma policy")
+	}
+	// A model t_c of 2ms keeps σ/t_c well below 1 for the 2ms straggler
+	// (σ ≈ 0.7ms), so the degree planner holds a deep degree-2 MCS tree —
+	// the depth diversity placement needs — instead of going flat.
+	addr, srv := startServer(t, Options{
+		Elastic:      true,
+		ReplanEvery:  2,
+		Placement:    mk,
+		Tc:           2e-3,
+		InitialSigma: 700e-6,
+		Watchdog:     30 * time.Second,
+	})
+
+	var straggler atomic.Int32
+	straggler.Store(4)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, p)
+	for id := 0; id < p; id++ {
+		c := dialJoin(t, addr, session, p, id)
+		wg.Add(1)
+		go func(id int, c *Client) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					errs <- c.Leave()
+					return
+				default:
+				}
+				if int32(id) == straggler.Load() {
+					time.Sleep(2 * time.Millisecond)
+				}
+				if _, err := c.Wait(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(id, c)
+	}
+
+	shallowest := func(d []int) int {
+		min := d[0]
+		for _, v := range d[1:] {
+			if v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	deepest := func(d []int) int {
+		max := d[0]
+		for _, v := range d[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	// waitPlaced polls until the session has performed at least n
+	// placement rebuilds and its (depth-diverse) tree holds want in the
+	// shallowest slot.
+	waitPlaced := func(want int, n uint64) SessionStats {
+		t.Helper()
+		deadline := time.Now().Add(time.Minute)
+		for {
+			st, ok := srv.SessionStats(session)
+			if ok && st.Reconfig.Placements >= n && len(st.Depths) == p &&
+				shallowest(st.Depths) != deepest(st.Depths) &&
+				st.Depths[want] == shallowest(st.Depths) {
+				return st
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %d placed shallowest after %d rebuilds (stats %+v)", want, n, st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	st := waitPlaced(4, 1)
+	t.Logf("straggler 4 placed: depths %v after %d placements, episode %d",
+		st.Depths, st.Reconfig.Placements, st.Episode)
+
+	straggler.Store(1)
+	st = waitPlaced(1, st.Reconfig.Placements+1)
+	t.Logf("straggler 1 placed: depths %v after %d placements, episode %d",
+		st.Depths, st.Reconfig.Placements, st.Episode)
+
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("client failed: %v", err)
+		}
+	}
+}

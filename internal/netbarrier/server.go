@@ -58,6 +58,18 @@ type Options struct {
 	// MaxP caps the participant count a JoinReq may open a session with;
 	// 0 selects 4096.
 	MaxP int
+	// Placement constructs a predictive straggler-placement policy for
+	// each new session (policies are stateful and single-owner, so the
+	// server needs a factory, not an instance — use
+	// softbarrier.PlacementByName to resolve one from a CLI name). The
+	// session feeds each episode's measured per-participant lags to the
+	// policy and, on the replan cadence, rebuilds its tree with the
+	// predicted stragglers in the shallowest slots
+	// (ReconfigStats.Placements counts these rebuilds). Sessions with a
+	// policy build MCS-shaped trees: classic trees have uniform depth,
+	// leaving placement nothing to choose. Nil disables predictive
+	// placement.
+	Placement func() softbarrier.PlacementPolicy
 	// Op arms every session with a collective reduction: arrivals may
 	// carry op.Width-byte contributions (ArriveData frames), releases
 	// carry the folded result (Result frames), and payload-less arrivals
@@ -235,6 +247,11 @@ type SessionStats struct {
 	Members  int    // live (joined, not departed) member connections
 	Pending  int    // elastic joiners awaiting the next boundary
 	Reconfig softbarrier.ReconfigStats
+	// Depths is the per-participant synchronization path length of the
+	// current core, when it exposes one (fixed-tree cores; dynamic cores
+	// migrate placement per episode and report nil). With a Placement
+	// policy armed, predicted stragglers show the smallest depths.
+	Depths []int
 }
 
 // SessionStats returns a snapshot of the named session, or false if no

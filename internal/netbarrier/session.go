@@ -19,6 +19,7 @@ type arrivalTree interface {
 	Arrive(id int)
 	ArriveReduce(id int, in []byte) error
 	Reduced(episode uint64) []byte
+	LagsInto(episode uint64, dst []float64) []float64
 	Poison(err error)
 	Err() error
 	Close()
@@ -73,6 +74,16 @@ type session struct {
 	op      *softbarrier.Op      // collective op, nil for a plain barrier session
 	ident   []byte               // op identity, proxy-contributed for plain/leaving members
 
+	// Predictive straggler placement (Options.Placement). All four fields
+	// are touched only by the releasing member's goroutine, at episode
+	// boundaries: place consumes the episode's lags, curOrder is the
+	// policy's latest opinion, builtOrder the order the current core was
+	// built with.
+	place      softbarrier.PlacementPolicy
+	lagBuf     []float64
+	curOrder   []int
+	builtOrder []int
+
 	core    atomic.Pointer[coreBox]
 	episode atomic.Uint64 // current episode index; advanced by the releaser
 	dead    atomic.Bool   // poison broadcast already sent
@@ -104,6 +115,9 @@ func newSession(srv *Server, name string, p int) *session {
 		if op.Identity != nil {
 			copy(s.ident, op.Identity)
 		}
+	}
+	if f := srv.opt.Placement; f != nil {
+		s.place = f()
 	}
 	s.est.Init(rt.DefaultSigmaWeight)
 	rec := softbarrier.Recommend(s.profile)
@@ -147,10 +161,77 @@ func (s *session) buildCore(plan reconfig.Plan) arrivalTree {
 	if s.op != nil {
 		opts = append(opts, softbarrier.WithCollective(*s.op))
 	}
+	s.builtOrder = nil
+	if s.place != nil && len(s.curOrder) == plan.P {
+		// The policy's predicted-straggler order relabels the tree's
+		// slots laggiest-first-shallowest; membership changes invalidate
+		// a stale order (the length mismatch drops it here).
+		opts = append(opts, softbarrier.WithPlacement(s.curOrder))
+		s.builtOrder = s.curOrder
+	}
 	if plan.Dynamic {
 		return softbarrier.NewDynamic(plan.P, plan.Degree, opts...)
 	}
+	if s.place != nil {
+		// A placement policy needs depth diversity to express a choice;
+		// classic trees put every participant at the same leaf depth, so
+		// placed sessions run the MCS shape.
+		return softbarrier.NewMCSTree(plan.P, plan.Degree, opts...)
+	}
 	return softbarrier.NewCombiningTree(plan.P, plan.Degree, opts...)
+}
+
+// observePlacement feeds the completed episode's per-participant lags to
+// the placement policy and refreshes curOrder with its latest opinion.
+// Releaser-only, at the quiescent point (the lag buffer parity slot is
+// stable there). Order() is consumed exactly once per episode: hysteresis
+// policies record what they emit.
+func (s *session) observePlacement(box *coreBox, episode uint64) {
+	if s.place == nil {
+		return
+	}
+	if lags := box.b.LagsInto(episode, s.lagBuf); lags != nil {
+		s.lagBuf = lags
+		s.place.Observe(lags)
+	}
+	if order := s.place.Order(); order != nil {
+		s.curOrder = order
+	}
+}
+
+// placementDue reports, on the replan cadence, whether the policy's
+// predicted-straggler order differs from the one the current core was
+// built with — a placement-only rebuild is then due. Releaser-only.
+func (s *session) placementDue() bool {
+	if s.place == nil {
+		return false
+	}
+	n := s.ctrl.Episodes()
+	if n == 0 || n%s.ctrl.Config().ReplanEvery != 0 {
+		return false
+	}
+	p := s.ctrl.Current().P
+	if len(s.curOrder) != p {
+		return false
+	}
+	return !ordersEqual(s.curOrder, s.builtOrder, p)
+}
+
+// ordersEqual compares placement orders, nil meaning the natural
+// ascending-id order.
+func ordersEqual(a, b []int, p int) bool {
+	idx := func(o []int, k int) int {
+		if o == nil {
+			return k
+		}
+		return o[k]
+	}
+	for k := 0; k < p; k++ {
+		if idx(a, k) != idx(b, k) {
+			return false
+		}
+	}
+	return true
 }
 
 // degree returns the current tree degree.
@@ -170,7 +251,7 @@ func (s *session) stats() SessionStats {
 	}
 	pending := len(s.pending)
 	s.mu.Unlock()
-	return SessionStats{
+	out := SessionStats{
 		Name:     s.name,
 		P:        s.p(),
 		Episode:  s.episode.Load(),
@@ -178,6 +259,13 @@ func (s *session) stats() SessionStats {
 		Pending:  pending,
 		Reconfig: s.ctrl.Stats(),
 	}
+	// Fixed-tree cores expose their per-participant depths (the tree is
+	// immutable, so this is safe from the stats goroutine); dynamic cores
+	// migrate placement per episode and stay nil.
+	if d, ok := s.core.Load().b.(interface{ Depths() []int }); ok {
+		out.Depths = d.Depths()
+	}
+	return out
 }
 
 // arrive applies one member's Arrive frame (see checkArrival for the
@@ -252,6 +340,7 @@ func (s *session) onEpisode(st softbarrier.EpisodeStats) {
 	}
 	ep := s.episode.Load()
 	box := s.core.Load()
+	s.observePlacement(box, st.Episode)
 	// Capture the collective result at the quiescent point, while the
 	// completed core still owns it: a re-plan below swaps the core out,
 	// and the next same-parity episode would overwrite the buffer.
@@ -263,6 +352,12 @@ func (s *session) onEpisode(st softbarrier.EpisodeStats) {
 			s.ctrl.Commit(plan)
 			s.srv.opt.logf("session %s: episode %d re-planned degree %d -> %d (epoch %d, measured sigma %.3gs)",
 				s.name, ep, box.b.Degree(), plan.Degree, plan.Epoch, plan.Sigma)
+		} else if s.placementDue() {
+			s.core.Store(&coreBox{s.buildCore(s.ctrl.Current())})
+			box.b.Close()
+			s.ctrl.NotePlacement()
+			s.srv.opt.logf("session %s: episode %d placement rebuild (order %v)",
+				s.name, ep, s.builtOrder)
 		}
 	}
 	// Advance the episode before the first Release byte leaves: a client's
@@ -315,6 +410,7 @@ func (s *session) elasticBoundary(st softbarrier.EpisodeStats) {
 	s.mu.Lock()
 	ep := s.episode.Load()
 	box := s.core.Load()
+	s.observePlacement(box, st.Episode)
 	result := s.capture(box, st.Episode) // before the boundary swaps the core
 
 	continuing := make([]*srvConn, 0, len(s.members))
@@ -352,6 +448,10 @@ func (s *session) elasticBoundary(st softbarrier.EpisodeStats) {
 			s.core.Store(&coreBox{s.buildCore(plan)})
 			old = box.b
 			s.ctrl.Commit(plan)
+		} else if s.placementDue() {
+			s.core.Store(&coreBox{s.buildCore(s.ctrl.Current())})
+			old = box.b
+			s.ctrl.NotePlacement()
 		}
 	}
 	s.episode.Store(ep + 1)

@@ -99,6 +99,9 @@ type Stats struct {
 	Evals uint64
 	// Deferred counts plans suppressed by the MinEpisodesBetween floor.
 	Deferred uint64
+	// Placements counts placement-only rebuilds: same configuration,
+	// slots re-ordered by a placement policy's predicted-straggler order.
+	Placements uint64
 	// LastPlan is the most recently committed plan; for a barrier that
 	// never re-planned it describes the initial configuration.
 	LastPlan Plan
@@ -125,6 +128,7 @@ type Controller struct {
 	rebuilds uint64
 	evals    uint64
 	deferred uint64
+	placed   uint64
 	lastAt   uint64 // est episode count at the last committed rebuild
 }
 
@@ -305,6 +309,15 @@ func (c *Controller) Commit(plan Plan) {
 	c.mu.Unlock()
 }
 
+// NotePlacement records a placement-only rebuild: the epoch's P/degree
+// stand, but the tree was rebuilt with a placement policy's new
+// predicted-straggler order. Called by the releasing participant.
+func (c *Controller) NotePlacement() {
+	c.mu.Lock()
+	c.placed++
+	c.mu.Unlock()
+}
+
 // Rebuilds returns how many plans have been committed.
 func (c *Controller) Rebuilds() uint64 {
 	c.mu.Lock()
@@ -317,10 +330,11 @@ func (c *Controller) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Epochs:   c.rebuilds + 1,
-		Rebuilds: c.rebuilds,
-		Evals:    c.evals,
-		Deferred: c.deferred,
-		LastPlan: c.cur,
+		Epochs:     c.rebuilds + 1,
+		Rebuilds:   c.rebuilds,
+		Evals:      c.evals,
+		Deferred:   c.deferred,
+		Placements: c.placed,
+		LastPlan:   c.cur,
 	}
 }

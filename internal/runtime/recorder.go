@@ -103,6 +103,32 @@ func (r *Recorder) Measure(episode uint64) (m Measurement, ok bool) {
 	return Measurement{First: first, Last: last, Released: r.clock(), Spread: stats.StdDev(r.scratch)}, true
 }
 
+// LagsInto reads the episode's arrival slots into dst as per-participant
+// lags — arrival time minus the episode's earliest arrival, seconds —
+// the signal a placement policy consumes. dst is reused when it has the
+// capacity. Like Measure it is releaser-only, before the episode's
+// release; a nil recorder returns nil.
+func (r *Recorder) LagsInto(episode uint64, dst []float64) []float64 {
+	if r == nil {
+		return nil
+	}
+	slots := r.arrivals[episode&1]
+	if cap(dst) < len(slots) {
+		dst = make([]float64, len(slots))
+	}
+	dst = dst[:len(slots)]
+	first := slots[0].V
+	for i := range slots {
+		if slots[i].V < first {
+			first = slots[i].V
+		}
+	}
+	for i := range slots {
+		dst[i] = float64(slots[i].V-first) * 1e-9
+	}
+	return dst
+}
+
 // Emit publishes the measurement to the observer (if any) and advances the
 // episode counter. Like Measure it runs on the releasing participant only.
 func (r *Recorder) Emit(m Measurement, ex Extra) {

@@ -1,110 +1,43 @@
-// Package workload generates the processor execution times that drive the
-// barrier study: iid samples per iteration (non-deterministic imbalance),
-// persistent per-processor offsets (systemic imbalance), slowly drifting
-// offsets (evolving imbalance), and the fuzzy-barrier slack model that
-// couples consecutive barrier episodes.
+// Package workload names the paper's three imbalance regimes — iid samples
+// per iteration (non-deterministic imbalance), persistent per-processor
+// offsets (systemic imbalance), slowly drifting offsets (evolving
+// imbalance) — plus the fuzzy-barrier slack model that couples consecutive
+// barrier episodes.
+//
+// The generators themselves live in internal/loadmodel (the pluggable
+// load-imbalance subsystem); this package re-exports them under the
+// paper's historical names so the experiment tables keep reading like the
+// paper. New imbalance shapes (heavy-tail, bursty, chunk skew, phased
+// schedules) are used through loadmodel directly.
 package workload
 
 import (
-	"fmt"
-
+	"softbarrier/internal/loadmodel"
 	"softbarrier/internal/stats"
 )
 
-// Workload produces per-iteration work times for a fixed set of processors.
-type Workload interface {
-	// P returns the number of processors.
-	P() int
-	// Times fills dst (length P) with the work times of iteration k,
-	// drawing randomness from r. Iterations must be requested in order
-	// starting at 0; implementations may keep per-processor state.
-	Times(k int, r *stats.RNG, dst []float64)
-	// String describes the workload for table captions.
-	String() string
-}
+// Workload produces per-iteration work times for a fixed set of
+// processors. It is loadmodel.Generator under the paper's vocabulary.
+type Workload = loadmodel.Generator
 
 // IID draws every processor's work time independently from Dist each
 // iteration: the paper's non-deterministic load imbalance.
-type IID struct {
-	N    int
-	Dist stats.Distribution
-}
-
-// P returns the processor count.
-func (w IID) P() int { return w.N }
-
-// Times draws N iid samples.
-func (w IID) Times(_ int, r *stats.RNG, dst []float64) {
-	for i := range dst[:w.N] {
-		dst[i] = w.Dist.Sample(r)
-	}
-}
-
-func (w IID) String() string { return fmt.Sprintf("iid p=%d %v", w.N, w.Dist) }
+type IID = loadmodel.IID
 
 // Systemic adds a fixed per-processor offset to a base workload: the
 // paper's systemic load imbalance, where the same processors are
 // consistently late.
-type Systemic struct {
-	Base    Workload
-	Offsets []float64
-}
+type Systemic = loadmodel.StaticSkew
 
-// P returns the processor count.
-func (w Systemic) P() int { return w.Base.P() }
-
-// Times draws base times and adds the fixed offsets.
-func (w Systemic) Times(k int, r *stats.RNG, dst []float64) {
-	w.Base.Times(k, r, dst)
-	for i := range dst[:w.P()] {
-		dst[i] += w.Offsets[i]
-	}
-}
-
-func (w Systemic) String() string { return fmt.Sprintf("systemic over %v", w.Base) }
+// Evolving drifts each processor's bias as an AR(1) process: the paper's
+// evolving workload imbalance, "where the workload slowly fluctuates from
+// iteration to iteration".
+type Evolving = loadmodel.Drift
 
 // LinearOffsets returns p offsets evenly spaced in [-spread/2, spread/2],
 // a simple systemic-imbalance profile.
 func LinearOffsets(p int, spread float64) []float64 {
-	off := make([]float64, p)
-	if p == 1 {
-		return off
-	}
-	for i := range off {
-		off[i] = spread * (float64(i)/float64(p-1) - 0.5)
-	}
-	return off
-}
-
-// Evolving drifts each processor's bias as an AR(1) process with
-// autocorrelation Rho and innovation scale InnovSigma, on top of iid draws
-// from Dist: the paper's evolving workload imbalance, "where the workload
-// slowly fluctuates from iteration to iteration".
-type Evolving struct {
-	N          int
-	Dist       stats.Distribution
-	Rho        float64
-	InnovSigma float64
-
-	bias []float64
-}
-
-// P returns the processor count.
-func (w *Evolving) P() int { return w.N }
-
-// Times draws iid samples plus the drifting per-processor bias.
-func (w *Evolving) Times(_ int, r *stats.RNG, dst []float64) {
-	if w.bias == nil {
-		w.bias = make([]float64, w.N)
-	}
-	for i := range dst[:w.N] {
-		w.bias[i] = w.Rho*w.bias[i] + w.InnovSigma*r.NormFloat64()
-		dst[i] = w.Dist.Sample(r) + w.bias[i]
-	}
-}
-
-func (w *Evolving) String() string {
-	return fmt.Sprintf("evolving p=%d %v rho=%g innov=%g", w.N, w.Dist, w.Rho, w.InnovSigma)
+	return loadmodel.LinearOffsets(p, spread)
 }
 
 // SampleArrivals draws a single episode of arrival times for p processors

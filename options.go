@@ -40,6 +40,8 @@ type options struct {
 	watchdog     time.Duration
 	poisonNotify func(error)
 	collective   *rt.Op
+	placement    PlacementPolicy
+	placeOrder   []int
 }
 
 func applyOptions(opts []Option) options {

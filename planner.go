@@ -2,7 +2,8 @@ package softbarrier
 
 import (
 	"fmt"
-	"sort"
+
+	"softbarrier/internal/loadmodel"
 )
 
 // Profile describes a workload's synchronization-relevant properties, in
@@ -165,13 +166,9 @@ func Plan(pr Profile) (Barrier, Recommendation) {
 // lag profile instead of online per episode. The sort is stable, so equal
 // lags keep their id order and the policy degenerates to the identity
 // order for uniform lag.
+//
+// ReduceOrder is loadmodel.Rank: the live placement policies (see
+// WithPlacementPolicy) rank the same way.
 func ReduceOrder(lags []float64) []int {
-	order := make([]int, len(lags))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return lags[order[a]] > lags[order[b]]
-	})
-	return order
+	return loadmodel.Rank(lags)
 }

@@ -41,6 +41,11 @@ type ReconfigurableBarrier struct {
 	est  rt.SigmaEstimator // EWMA of per-episode arrival spread, seconds
 	rec  *rt.Recorder      // always active: the control loop needs the spreads
 	red  *rt.Reducer       // payload reducer; nil without WithCollective
+
+	// Predictive straggler placement (WithPlacementPolicy). place and
+	// lagBuf are touched only by the releasing participant.
+	place  PlacementPolicy
+	lagBuf []float64
 	poisonCore
 }
 
@@ -53,6 +58,9 @@ type rcState struct {
 	epochGen uint64 // gate generation at which this epoch becomes active
 	tree     *topology.Tree
 	counters []treeCounter
+	// order is the placement order the epoch's tree was built with, nil
+	// for the natural ascending-id placement.
+	order []int
 	// myGen holds each participant's episode generation. It only ever
 	// grows across epochs (shrunk ids keep their slot so their final
 	// Await still reads a valid generation while they drain out).
@@ -121,7 +129,7 @@ func NewReconfigurable(p int, cfg ReconfigConfig, opts ...Option) *Reconfigurabl
 		panic("softbarrier: tree degree must be ≥ 2")
 	}
 	o := applyOptions(opts)
-	b := &ReconfigurableBarrier{tc: cfg.Tc}
+	b := &ReconfigurableBarrier{tc: cfg.Tc, place: o.placement}
 	b.gate.Init(o.policy)
 	b.rec = o.recorder(p, true)
 	b.est.Init(rt.DefaultSigmaWeight)
@@ -136,7 +144,7 @@ func NewReconfigurable(p int, cfg ReconfigConfig, opts ...Option) *Reconfigurabl
 		func(p int, sigma float64) (int, bool) { return OptimalDegree(p, sigma, b.tc), false },
 		reconfig.Plan{P: p, Degree: cfg.InitialDegree},
 	)
-	st0 := newRCState(nil, b.ctrl.Current(), 0)
+	st0 := newRCState(nil, b.ctrl.Current(), 0, nil, b.place != nil)
 	b.state.Store(st0)
 	b.red = o.reducer(p, len(st0.counters))
 	b.initPoison(p, o.watchdog, o.poisonNotify,
@@ -159,9 +167,24 @@ func NewReconfigurable(p int, cfg ReconfigConfig, opts ...Option) *Reconfigurabl
 
 // newRCState builds the epoch described by plan, carrying forward the
 // generation slots of prev (nil for the initial epoch). epochGen is the
-// gate generation at which the epoch's first episode runs.
-func newRCState(prev *rcState, plan reconfig.Plan, epochGen uint64) *rcState {
-	tree := topology.NewClassic(plan.P, plan.Degree)
+// gate generation at which the epoch's first episode runs. order, when
+// it covers plan.P, relabels the tree laggiest-first-shallowest
+// (PlaceByDepth). mcs selects an MCS-shaped tree: a barrier with a
+// placement policy builds MCS epochs, because a classic tree puts every
+// participant at the same (leaf) depth and placement would choose
+// nothing.
+func newRCState(prev *rcState, plan reconfig.Plan, epochGen uint64, order []int, mcs bool) *rcState {
+	var tree *topology.Tree
+	if mcs {
+		tree = topology.NewMCS(plan.P, plan.Degree)
+	} else {
+		tree = topology.NewClassic(plan.P, plan.Degree)
+	}
+	if len(order) == plan.P {
+		tree = placeTree(tree, order)
+	} else {
+		order = nil
+	}
 	st := &rcState{
 		p:        plan.P,
 		degree:   plan.Degree,
@@ -169,6 +192,7 @@ func newRCState(prev *rcState, plan reconfig.Plan, epochGen uint64) *rcState {
 		epochGen: epochGen,
 		tree:     tree,
 		counters: make([]treeCounter, len(tree.Counters)),
+		order:    order,
 	}
 	for i := range st.counters {
 		st.counters[i].fanIn = tree.Counters[i].FanIn()
@@ -198,6 +222,21 @@ func (b *ReconfigurableBarrier) Epoch() uint64 { return b.state.Load().epoch }
 
 // Sigma returns the current arrival-spread estimate in seconds.
 func (b *ReconfigurableBarrier) Sigma() float64 { return b.est.Sigma() }
+
+// Depths returns the current epoch's per-participant synchronization
+// path lengths — how many counters each participant updates per episode.
+// With a placement policy armed, predicted stragglers show the smallest
+// depths after a placement rebuild. The epoch's tree is immutable, so
+// Depths is safe from any goroutine; it reflects the epoch current at
+// the call.
+func (b *ReconfigurableBarrier) Depths() []int {
+	st := b.state.Load()
+	d := make([]int, st.p)
+	for id := range d {
+		d[id] = st.tree.Depth(st.tree.FirstCounter(id))
+	}
+	return d
+}
 
 // MeasuredSigma implements SigmaSource: the live σ estimate and the number
 // of episodes it is based on, for feeding back into the planner.
@@ -299,26 +338,63 @@ func (b *ReconfigurableBarrier) Arrive(id int) {
 
 // release runs on the participant that completed the root: a quiescent
 // point for the counters. It folds the measured spread into the σ
-// estimate, asks the controller whether a new epoch is due, applies the
-// plan if so, emits the episode's telemetry, and opens the gate.
+// estimate (and the per-participant lags into the placement policy),
+// asks the controller whether a new epoch is due, applies the plan if
+// so — otherwise rebuilds in place when the policy's predicted-straggler
+// order changed on the replan cadence — emits the episode's telemetry,
+// and opens the gate.
 func (b *ReconfigurableBarrier) release(st *rcState) {
 	seq := b.gate.Seq()
 	m, _ := b.rec.Measure(seq)
 	b.ctrl.Observe(m.Spread)
+	if b.place != nil {
+		b.lagBuf = b.rec.LagsInto(seq, b.lagBuf)
+		b.place.Observe(b.lagBuf)
+	}
 	if plan, ok := b.ctrl.Evaluate(); ok {
 		// The new epoch's first episode runs at the generation the Open
 		// below advances to.
 		b.apply(st, plan, seq+1)
+	} else if order := b.duePlacementOrder(st); order != nil {
+		b.applyPlacement(st, order, seq+1)
 	}
 	cur := b.state.Load()
 	b.rec.Emit(m, rt.Extra{Adaptations: b.ctrl.Rebuilds(), Degree: cur.degree, Epoch: cur.epoch})
 	b.gate.Open()
 }
 
+// duePlacementOrder decides, on the replan cadence, whether the policy
+// wants the running epoch's slots re-ordered: it returns the new order,
+// or nil when none is due (off cadence, no policy opinion, opinion for a
+// stale membership, or unchanged from the epoch's current placement).
+// Order() is consumed at most once per release — hysteresis policies
+// record what they emit.
+func (b *ReconfigurableBarrier) duePlacementOrder(st *rcState) []int {
+	if b.place == nil {
+		return nil
+	}
+	n := b.ctrl.Episodes()
+	if n == 0 || n%b.ctrl.Config().ReplanEvery != 0 {
+		return nil
+	}
+	order := policyOrder(b.place, st.p)
+	if order == nil || sameOrder(order, st.order, st.p) {
+		return nil
+	}
+	return order
+}
+
 // apply installs plan as the running epoch. It must run at a quiescent
 // point: the release path, or a caller-synchronized Resize.
 func (b *ReconfigurableBarrier) apply(prev *rcState, plan reconfig.Plan, epochGen uint64) {
-	next := newRCState(prev, plan, epochGen)
+	order := policyOrder(b.place, plan.P)
+	if order == nil && len(prev.order) == plan.P {
+		// The policy has no (new) opinion for this membership; keep the
+		// placement the previous epoch ran with rather than snapping back
+		// to the identity order.
+		order = prev.order
+	}
+	next := newRCState(prev, plan, epochGen, order, b.place != nil)
 	if plan.P != prev.p {
 		b.rec.Resize(plan.P)
 		b.resizeArrivals(plan.P)
@@ -329,6 +405,19 @@ func (b *ReconfigurableBarrier) apply(prev *rcState, plan reconfig.Plan, epochGe
 	b.red.Resize(plan.P, len(next.counters))
 	b.state.Store(next)
 	b.ctrl.Commit(plan)
+}
+
+// applyPlacement rebuilds the running epoch's tree with a new placement
+// order — same P, degree and epoch number, slots re-labelled so order[k]
+// sits on the k-th shallowest slot. Like apply it runs only at the
+// quiescent release point; ReconfigStats.Placements counts these
+// rebuilds.
+func (b *ReconfigurableBarrier) applyPlacement(prev *rcState, order []int, epochGen uint64) {
+	plan := b.ctrl.Current()
+	next := newRCState(prev, plan, epochGen, order, b.place != nil)
+	b.red.Resize(plan.P, len(next.counters))
+	b.state.Store(next)
+	b.ctrl.NotePlacement()
 }
 
 // AllReduce contributes in, completes one episode, and copies the

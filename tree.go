@@ -68,6 +68,7 @@ func NewMCSTree(p, degree int, opts ...Option) *TreeBarrier {
 
 func newTreeBarrier(tree *topology.Tree, opts []Option) *TreeBarrier {
 	o := applyOptions(opts)
+	tree = placeTree(tree, o.placeOrder)
 	b := &TreeBarrier{
 		p:          tree.P,
 		tree:       tree,
@@ -119,6 +120,28 @@ func (b *TreeBarrier) Degree() int { return b.tree.Degree }
 
 // Levels returns the number of counter levels in the tree.
 func (b *TreeBarrier) Levels() int { return b.tree.Levels }
+
+// Depths returns each participant's synchronization path length — how
+// many counters it updates per episode. The tree is immutable, so Depths
+// is safe at any time; index k of the result is participant k's depth.
+// With a placement applied (WithPlacement), the laggiest-ranked
+// participants show the smallest depths.
+func (b *TreeBarrier) Depths() []int {
+	d := make([]int, b.p)
+	for id := range d {
+		d[id] = b.tree.Depth(b.tree.FirstCounter(id))
+	}
+	return d
+}
+
+// LagsInto reads the given episode's per-participant arrival lags
+// (seconds behind the episode's earliest arrival) into dst, which is
+// reused when it has the capacity. Like the recorder it wraps, it is
+// releaser-only before the episode's release; it returns nil on a
+// barrier built without an observer.
+func (b *TreeBarrier) LagsInto(episode uint64, dst []float64) []float64 {
+	return b.rec.LagsInto(episode, dst)
+}
 
 // Wait blocks until all participants arrive.
 func (b *TreeBarrier) Wait(id int) {
