@@ -228,20 +228,61 @@ func EstimateByDegree(p int, sigma, tc float64) map[int]float64 {
 	return byDegree
 }
 
+// delayScalar is Algorithm 1 as a pure scalar computation: the same math
+// as Estimate, but with a running maximum instead of a Breakdown, so it
+// performs no allocations. Hot re-plan paths (the per-episode controller
+// evaluation) run the degree scan on it. levels must satisfy
+// d^levels == p; tc must already be defaulted.
+func delayScalar(p, d, levels int, sigma, tc float64) float64 {
+	lastArrival := LastArrival(p, sigma)
+	release := lastArrival + float64(levels)*tc // Eq. 7: the last processor's release
+	for l := 0; l < levels; l++ {
+		pb := PBefore(d, l, levels)
+		if l == levels-1 {
+			if levels >= 2 {
+				pb = PBefore(d, levels-2, levels) / 2
+			} else {
+				pb = (1 - 1/float64(p)) / 2
+			}
+		}
+		arr := 0.0
+		if sigma != 0 {
+			arr = sigma * stats.NormalQuantile(pb)
+		}
+		rel := arr + Contention(d, l+1, tc) + float64(levels-1-l)*tc
+		if rel > release {
+			release = rel
+		}
+	}
+	return release - lastArrival
+}
+
 // EstimateOptimalDegree returns the analytic model's delay-minimizing
 // degree for p processors at the given imbalance, with ties going to the
 // larger degree (wider trees need fewer counters). This is the quantity a
-// compiler would use to configure a barrier (§8).
+// compiler would use to configure a barrier (§8). It scans the full-tree
+// degrees on the scalar path and allocates nothing, so per-episode
+// re-planning stays off the heap. It panics for p < 2 (no full-tree
+// degree exists).
 func EstimateOptimalDegree(p int, sigma, tc float64) DegreeEstimate {
-	sweep := EstimateSweep(p, sigma, tc)
-	best := sweep[0]
-	for _, e := range sweep[1:] {
-		switch {
-		case e.Delay < best.Delay*(1-1e-12):
-			best = e
-		case e.Delay < best.Delay*(1+1e-12) && e.Degree > best.Degree:
-			best = e
+	if tc == 0 {
+		tc = DefaultTc
+	}
+	best := DegreeEstimate{Degree: -1}
+	for d := 2; d <= p; d++ {
+		levels, ok := FullLevels(p, d)
+		if !ok {
+			continue
 		}
+		delay := delayScalar(p, d, levels, sigma, tc)
+		// Scanning in increasing degree order, a tie (within relative 1e-12)
+		// is won by the later — larger — degree.
+		if best.Degree < 0 || delay < best.Delay*(1+1e-12) {
+			best = DegreeEstimate{Degree: d, Levels: levels, Delay: delay}
+		}
+	}
+	if best.Degree < 0 {
+		panic(fmt.Sprintf("model: no full-tree degree for p=%d", p))
 	}
 	return best
 }

@@ -227,3 +227,48 @@ func TestEstimateSweepCoversAllFullDegrees(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateOptimalDegreeMatchesSweep pins the scalar scan to the
+// reference path: for every (p, σ) the allocation-free degree scan must
+// select exactly what a full EstimateSweep minimization would.
+func TestEstimateOptimalDegreeMatchesSweep(t *testing.T) {
+	sweepBest := func(p int, sigma, tc float64) DegreeEstimate {
+		sweep := EstimateSweep(p, sigma, tc)
+		best := sweep[0]
+		for _, e := range sweep[1:] {
+			switch {
+			case e.Delay < best.Delay*(1-1e-12):
+				best = e
+			case e.Delay < best.Delay*(1+1e-12) && e.Degree > best.Degree:
+				best = e
+			}
+		}
+		return best
+	}
+	for _, p := range []int{2, 4, 16, 64, 256, 1024, 4096} {
+		for _, sigma := range []float64{0, 1e-5, 1e-4, 1e-3, 1e-2} {
+			want := sweepBest(p, sigma, DefaultTc)
+			got := EstimateOptimalDegree(p, sigma, DefaultTc)
+			if got != want {
+				t.Errorf("EstimateOptimalDegree(%d, %g) = %+v, want sweep's %+v", p, sigma, got, want)
+			}
+		}
+	}
+}
+
+// TestEstimateOptimalDegreeZeroAlloc gates the scalar path: per-episode
+// re-planning calls this on the release path, so it must not allocate.
+func TestEstimateOptimalDegreeZeroAlloc(t *testing.T) {
+	avg := testing.AllocsPerRun(100, func() {
+		EstimateOptimalDegree(1024, 3e-4, DefaultTc)
+	})
+	if avg != 0 {
+		t.Fatalf("EstimateOptimalDegree allocated %.2f times/op, want 0", avg)
+	}
+}
+
+func TestEstimateOptimalDegreeDefaultsTc(t *testing.T) {
+	if got, want := EstimateOptimalDegree(64, 1e-4, 0), EstimateOptimalDegree(64, 1e-4, DefaultTc); got != want {
+		t.Fatalf("tc=0 gave %+v, want the DefaultTc result %+v", got, want)
+	}
+}

@@ -1,0 +1,145 @@
+package netbarrier
+
+import (
+	"testing"
+	"time"
+
+	"softbarrier"
+)
+
+// TestSteadyStateZeroAllocs gates the zero-allocation frame path: after
+// warmup, a whole barrier episode — client Arrive encode, client Await
+// decode, and (the server being in-process) the server-side read, arrival,
+// re-plan evaluation, release encode, and fan-out — must perform zero heap
+// allocations. testing.AllocsPerRun measures process-wide mallocs, so the
+// lockstep partner goroutine and the server's reader/writer goroutines are
+// all inside the measurement; any allocation anywhere on the steady-state
+// path fails the test.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; alloc gate runs in the non-race matrix")
+	}
+	// Default options: no watchdog (its ticker would allocate timer state
+	// mid-measurement) and the default every-episode replan cadence, so the
+	// controller's Evaluate → Recommender → analytic-model path is inside
+	// the measurement too.
+	addr, _ := startServer(t, Options{})
+	const p = 2
+	a := dialJoin(t, addr, "alloc", p, 0)
+	defer a.Close()
+	b := dialJoin(t, addr, "alloc", p, 1)
+	defer b.Close()
+
+	// The lockstep partner: Wait until the session dies under it at the end
+	// of the test. It can never run ahead — its Wait blocks until both
+	// members arrive — so it stays on the same episode as the measured
+	// client.
+	go func() {
+		for {
+			if _, err := b.Wait(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Warm up past the growth phase: scratch buffers (release parity
+	// buffers, fan-out target slices, client frame buffers) reach their
+	// steady-state capacity within the first few episodes.
+	for i := 0; i < 32; i++ {
+		if _, err := a.Wait(); err != nil {
+			t.Fatalf("warmup episode %d: %v", i, err)
+		}
+	}
+
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := a.Wait(); err != nil {
+			t.Errorf("measured episode: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state episode allocated %.2f times/op, want 0", avg)
+	}
+}
+
+// TestCollectiveSteadyStateAllocs bounds the collective (AllReduce) episode
+// path: the only per-episode allocation allowed is the result copy Await
+// hands to the caller (the caller owns Release.Result, so one make per
+// episode is the contract, not a regression).
+func TestCollectiveSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; alloc gate runs in the non-race matrix")
+	}
+	op, ok := softbarrier.OpByName("sum-u64")
+	if !ok {
+		t.Fatal("sum-u64 op not registered")
+	}
+	addr, _ := startServer(t, Options{Op: opPtr(op)})
+	const p = 2
+	a := dialJoin(t, addr, "allocred", p, 0)
+	defer a.Close()
+	b := dialJoin(t, addr, "allocred", p, 1)
+	defer b.Close()
+
+	contrib := make([]byte, op.Width)
+	go func() {
+		buf := make([]byte, op.Width)
+		for {
+			if _, err := b.AllReduce(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 32; i++ {
+		if _, err := a.AllReduce(contrib); err != nil {
+			t.Fatalf("warmup episode %d: %v", i, err)
+		}
+	}
+
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := a.AllReduce(contrib); err != nil {
+			t.Errorf("measured episode: %v", err)
+		}
+	})
+	// Two clients copy one result each per episode; everything else on the
+	// frame path must be allocation-free.
+	if avg > 2 {
+		t.Fatalf("collective steady-state episode allocated %.2f times/op, want ≤ 2 (the callers' result copies)", avg)
+	}
+}
+
+// TestWatchdogSteadyStateAllocs exercises the frame path with the watchdog
+// armed — the production configuration — allowing only the watchdog
+// ticker's own bookkeeping, which is off the frame path and amortized
+// across its poll cadence.
+func TestWatchdogSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; alloc gate runs in the non-race matrix")
+	}
+	addr, _ := startServer(t, Options{Watchdog: 30 * time.Second})
+	const p = 2
+	a := dialJoin(t, addr, "allocwd", p, 0)
+	defer a.Close()
+	b := dialJoin(t, addr, "allocwd", p, 1)
+	defer b.Close()
+
+	go func() {
+		for {
+			if _, err := b.Wait(); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 32; i++ {
+		if _, err := a.Wait(); err != nil {
+			t.Fatalf("warmup episode %d: %v", i, err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := a.Wait(); err != nil {
+			t.Errorf("measured episode: %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("watchdog-armed steady-state episode allocated %.2f times/op, want 0", avg)
+	}
+}

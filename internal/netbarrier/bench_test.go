@@ -13,10 +13,12 @@ import (
 // the number to put next to the in-process waiter-policy benchmarks when
 // deciding whether a workload can afford a network hop per episode. The
 // 512-client point probes the fan-out's scaling edge (hundreds of
-// sockets sharing one releaser).
+// sockets sharing one releaser). allocs/op is part of the trajectory:
+// the steady-state frame path is supposed to stay at zero.
 func BenchmarkNetBarrier(b *testing.B) {
 	for _, p := range []int{2, 8, 64, 512} {
 		b.Run(fmt.Sprintf("%dclients", p), func(b *testing.B) {
+			b.ReportAllocs()
 			addr, _ := startServer(b, Options{Watchdog: 30 * time.Second})
 			clients := make([]*Client, p)
 			for i := range clients {

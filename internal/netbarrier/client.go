@@ -43,6 +43,8 @@ type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+	rbuf []byte // reusable frame-body buffer (single-goroutine client)
+	wbuf []byte // reusable frame-encode scratch
 
 	joined  bool
 	left    bool
@@ -82,7 +84,7 @@ func (c *Client) JoinAs(session string, p, id int) error {
 	if err := c.write(Frame{Type: TypeJoinReq, Name: session, P: p, ID: id}); err != nil {
 		return c.fail(err)
 	}
-	resp, err := ReadFrame(c.br)
+	resp, err := ReadFrameInto(c.br, &c.rbuf)
 	if err != nil {
 		return c.fail(fmt.Errorf("netbarrier: join failed: %w", err))
 	}
@@ -178,7 +180,7 @@ func (c *Client) Await() (Release, error) {
 	if c.err != nil {
 		return Release{}, c.err
 	}
-	f, err := ReadFrame(c.br)
+	f, err := ReadFrameInto(c.br, &c.rbuf)
 	if err != nil {
 		return Release{}, c.fail(fmt.Errorf("netbarrier: connection failed awaiting release: %w", err))
 	}
@@ -264,9 +266,15 @@ func (c *Client) Leave() error {
 // "disconnected" cause instead of a hang. Use Leave for clean shutdown.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// write encodes and sends one frame with a single flush.
+// write encodes one frame into the client's reusable scratch and sends it
+// with a single flush — zero allocations on the steady-state arrive path.
 func (c *Client) write(f Frame) error {
-	if err := WriteFrame(c.bw, f); err != nil {
+	buf, err := AppendFrame(c.wbuf[:0], f)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf
+	if _, err := c.bw.Write(buf); err != nil {
 		return err
 	}
 	return c.bw.Flush()

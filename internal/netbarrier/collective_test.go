@@ -325,6 +325,7 @@ func BenchmarkNetAllReduce(b *testing.B) {
 	op, _ := softbarrier.OpByName("sum-u64")
 	for _, p := range []int{8, 64} {
 		b.Run(fmt.Sprintf("%dclients", p), func(b *testing.B) {
+			b.ReportAllocs()
 			addr, _ := startServer(b, Options{Watchdog: 30 * time.Second, Op: opPtr(op)})
 			clients := make([]*Client, p)
 			for i := range clients {

@@ -327,17 +327,46 @@ func lengthPrefixed(b []byte, what string, max int) (field, rest []byte, err err
 }
 
 // ReadFrame reads and decodes one frame from r, enforcing MaxFrame before
-// allocating the body.
+// allocating the body. Each call allocates a fresh body, so the returned
+// frame's byte fields are caller-owned; hot loops use ReadFrameInto
+// instead.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var hdr [lenSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var buf []byte
+	return ReadFrameInto(r, &buf)
+}
+
+// ReadFrameInto reads and decodes one frame from r using *buf as the body
+// buffer, growing it (once, up to MaxFrame) as needed and writing the
+// grown buffer back through buf. In steady state — after the first frame
+// of the connection's working size — it performs zero heap allocations.
+//
+// The returned frame's reference fields (Data, Cause) alias *buf and are
+// valid only until the next ReadFrameInto call with the same buffer; a
+// caller that retains them across frames must copy. String fields (Name,
+// Err) are copied by the decoder and always safe to keep.
+func ReadFrameInto(r io.Reader, buf *[]byte) (Frame, error) {
+	// The length prefix is read into the reusable buffer too: a local
+	// [4]byte array would escape through the io.ReadFull interface call and
+	// cost one heap allocation per frame — the body overwrites it once the
+	// length is parsed, so nothing is lost.
+	b := *buf
+	if cap(b) < lenSize {
+		b = make([]byte, lenSize, 256)
+		*buf = b
+	}
+	hdr := b[:lenSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return Frame{}, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n == 0 || n > MaxFrame {
 		return Frame{}, fmt.Errorf("netbarrier: frame length %d outside (0, %d]", n, MaxFrame)
 	}
-	body := make([]byte, n)
+	if uint32(cap(b)) < n {
+		b = make([]byte, n)
+		*buf = b
+	}
+	body := b[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF

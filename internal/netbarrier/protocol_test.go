@@ -3,6 +3,7 @@ package netbarrier
 import (
 	"bytes"
 	"encoding/binary"
+	"io"
 	"math"
 	"strings"
 	"testing"
@@ -219,5 +220,67 @@ func TestFrameEncodeRejectsOversize(t *testing.T) {
 	}
 	if len(dst) != 1 || dst[0] != 0xAA {
 		t.Error("rejected encode mutated dst")
+	}
+}
+
+func TestReadFrameIntoReusesBuffer(t *testing.T) {
+	frames := []Frame{
+		{Type: TypeArrive, Episode: 7},
+		{Type: TypeRelease, Episode: 7, Degree: 4, P: 8, Epoch: 2, Spread: 1e-4, Sigma: 2e-4},
+		{Type: TypeArriveData, Episode: 8, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Type: TypeArrive, Episode: 9},
+	}
+	var wire []byte
+	for _, f := range frames {
+		var err error
+		wire, err = AppendFrame(wire, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(wire)
+	var buf []byte
+	for i, want := range frames {
+		got, err := ReadFrameInto(r, &buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Episode != want.Episode || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("frame %d = %+v, want %+v", i, got, want)
+		}
+		if i > 0 && buf == nil {
+			t.Fatal("ReadFrameInto never populated the reusable buffer")
+		}
+	}
+	// Once the buffer has grown to cover the largest frame, further reads
+	// must not allocate (this is the hot loop's contract; the client and
+	// server per-connection read paths rely on it).
+	r2 := bytes.NewReader(wire)
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := r2.Seek(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		for range frames {
+			if _, err := ReadFrameInto(r2, &buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm ReadFrameInto allocated %.2f times per wire replay, want 0", avg)
+	}
+}
+
+func TestReadFrameIntoShortBody(t *testing.T) {
+	full, err := AppendFrame(nil, Frame{Type: TypeRelease, Episode: 3, Degree: 4, P: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	if _, err := ReadFrameInto(bytes.NewReader(full[:len(full)-2]), &buf); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated body: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if _, err := ReadFrameInto(bytes.NewReader(full[:2]), &buf); err == nil {
+		t.Fatal("truncated header: want an error")
 	}
 }

@@ -273,7 +273,15 @@ func (s *Server) SessionStats(name string) (SessionStats, bool) {
 // reader goroutine owns nextArrive's hot path, with the elastic boundary
 // seeding it for freshly admitted members; gone/leftOK are guarded by the
 // session mutex; writes go through send, which batches each frame into a
-// single socket write under wmu.
+// single socket write under wmu; rbuf is the reader goroutine's reusable
+// frame-body buffer (ReadFrameInto).
+//
+// Fan-out writes (release, poison, deferred JoinResp) are not performed on
+// the caller's goroutine: they are enqueued on sendq and drained by a
+// dedicated per-connection writer goroutine (writeLoop), so a member whose
+// socket has stalled blocks only its own writer — its send still times out
+// against the server's write deadline and poisons per the usual semantics,
+// but every other member's release goes out immediately.
 type srvConn struct {
 	conn net.Conn
 	bw   *bufio.Writer
@@ -283,10 +291,50 @@ type srvConn struct {
 	nextArrive atomic.Uint64
 	gone       bool // no longer a broadcast target
 	leftOK     bool // departed via Leave; disconnection is not a failure
+
+	rbuf  []byte       // reader-goroutine-owned frame body buffer
+	sendq chan sendJob // fan-out queue, drained by writeLoop
+	stop  chan struct{}
+}
+
+// sendJob is one queued fan-out write. buf is pre-encoded and read-only;
+// pend, when non-nil, is the borrow count of the session scratch buffer
+// backing buf and is decremented when the write (success or failure) is
+// done with the bytes. sess, when non-nil, is poisoned on write failure —
+// a member that cannot be written within the deadline will never arrive
+// again; nil means failures are ignored (poison broadcasts: that member is
+// already gone).
+type sendJob struct {
+	buf     []byte
+	timeout time.Duration
+	sess    *session
+	pend    *atomic.Int64
+}
+
+// sendQueueDepth bounds sendq. At most one release (or admission
+// JoinResp) per connection can be pending — a member must receive episode
+// k's release before it can arrive at k+1, and k+1's release cannot exist
+// before every member arrived — plus at most one poison frame, so depth 2
+// never blocks; enqueue still degrades to a one-off goroutine if it ever
+// would.
+const sendQueueDepth = 2
+
+// newSrvConn wraps an accepted connection; startWriter must be called
+// before any enqueue.
+func newSrvConn(conn net.Conn) *srvConn {
+	c := &srvConn{
+		conn:  conn,
+		bw:    bufio.NewWriter(conn),
+		sendq: make(chan sendJob, sendQueueDepth),
+		stop:  make(chan struct{}),
+	}
+	c.id.Store(-1)
+	return c
 }
 
 // send writes one pre-encoded frame with a single flush — the per-socket
-// batched write of the release fan-out path.
+// batched write of the fan-out path. It is safe from any goroutine (wmu
+// serializes whole frames); fan-out paths call it via writeLoop.
 func (c *srvConn) send(buf []byte, timeout time.Duration) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -297,10 +345,51 @@ func (c *srvConn) send(buf []byte, timeout time.Duration) error {
 	return c.bw.Flush()
 }
 
+// run performs one queued write and its bookkeeping.
+func (j sendJob) run(c *srvConn) {
+	err := c.send(j.buf, j.timeout)
+	if j.pend != nil {
+		// Release the borrow only after the last read of buf: the next
+		// same-parity broadcast's Load of the counter is then ordered after
+		// every access to the scratch bytes.
+		j.pend.Add(-1)
+	}
+	if err != nil && j.sess != nil {
+		j.sess.poison(fmt.Errorf("netbarrier: client %d unreachable: %w", c.id.Load(), err))
+	}
+}
+
+// writeLoop drains sendq until the connection handler exits. One stalled
+// socket therefore delays exactly one goroutine — this one.
+func (c *srvConn) writeLoop() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case j := <-c.sendq:
+			j.run(c)
+		}
+	}
+}
+
+// enqueue hands a fan-out write to the connection's writer goroutine
+// without ever blocking the caller: if the queue is full (possible only
+// under pathological poison/release overlap) the job runs on a one-off
+// goroutine instead.
+func (c *srvConn) enqueue(j sendJob) {
+	select {
+	case c.sendq <- j:
+	default:
+		go j.run(c)
+	}
+}
+
 // handle runs one connection: join handshake, then the arrive/leave
 // read loop.
 func (s *Server) handle(conn net.Conn) {
+	c := newSrvConn(conn)
 	defer func() {
+		close(c.stop)
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -310,15 +399,14 @@ func (s *Server) handle(conn net.Conn) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // arrive/release frames are latency-bound, not throughput-bound
 	}
-	c := &srvConn{conn: conn, bw: bufio.NewWriter(conn)}
-	c.id.Store(-1)
 	br := bufio.NewReader(conn)
 
 	conn.SetReadDeadline(time.Now().Add(s.opt.joinTimeout()))
-	req, err := ReadFrame(br)
+	req, err := ReadFrameInto(br, &c.rbuf)
 	if err != nil || req.Type != TypeJoinReq {
 		return // never joined; nothing to poison
 	}
+	go c.writeLoop()
 	sess, resp, deferred := s.join(c, req)
 	if deferred {
 		// Elastic admission: the JoinResp is sent by the episode boundary
@@ -339,7 +427,7 @@ func (s *Server) handle(conn net.Conn) {
 	}
 
 	for {
-		f, err := ReadFrame(br)
+		f, err := ReadFrameInto(br, &c.rbuf)
 		if err != nil {
 			sess.disconnect(c, err)
 			return

@@ -88,6 +88,20 @@ type session struct {
 	episode atomic.Uint64 // current episode index; advanced by the releaser
 	dead    atomic.Bool   // poison broadcast already sent
 
+	// Release fan-out scratch, all releaser-only (successive releasers are
+	// ordered through the episode/core atomics). relScratch is the encoded
+	// release frame, double-buffered by episode parity; relPending[k]
+	// counts fan-out writes still borrowing relScratch[k] — nonzero only
+	// while a socket is stalled, in which case the next same-parity
+	// broadcast falls back to a fresh allocation instead of reusing the
+	// buffer. bcast and contBuf are member-collection scratch; capBuf holds
+	// the episode's captured collective result.
+	relScratch [2][]byte
+	relPending [2]atomic.Int64
+	bcast      []*srvConn
+	contBuf    []*srvConn
+	capBuf     []byte
+
 	mu      sync.Mutex
 	members []*srvConn // slot per id; nil = not yet joined (formation only)
 	pending []*srvConn // elastic: connections awaiting admission at a boundary
@@ -120,7 +134,7 @@ func newSession(srv *Server, name string, p int) *session {
 		s.place = f()
 	}
 	s.est.Init(rt.DefaultSigmaWeight)
-	rec := softbarrier.Recommend(s.profile)
+	degree, dynamic := softbarrier.RecommendConfig(s.profile)
 	s.ctrl = reconfig.New(
 		reconfig.Config{
 			ReplanEvery:  uint64(srv.opt.ReplanEvery),
@@ -128,20 +142,21 @@ func newSession(srv *Server, name string, p int) *session {
 		},
 		&s.est,
 		s.recommend,
-		reconfig.Plan{P: p, Degree: rec.Degree, Dynamic: rec.Dynamic},
+		reconfig.Plan{P: p, Degree: degree, Dynamic: dynamic},
 	)
 	s.core.Store(&coreBox{s.buildCore(s.ctrl.Current())})
 	return s
 }
 
 // recommend is the controller's Recommender: the session's planner profile
-// evaluated at the epoch's membership and the measured σ.
+// evaluated at the epoch's membership and the measured σ. It runs on the
+// releaser's goroutine every ReplanEvery episodes, so it uses the
+// allocation-free RecommendConfig path.
 func (s *session) recommend(p int, sigma float64) (degree int, dynamic bool) {
 	prof := s.profile
 	prof.P = p
 	prof.Sigma = sigma
-	rec := softbarrier.Recommend(prof)
-	return rec.Degree, rec.Dynamic
+	return softbarrier.RecommendConfig(prof)
 }
 
 // buildCore constructs the arrival tree an epoch plan describes. With the
@@ -190,7 +205,7 @@ func (s *session) observePlacement(box *coreBox, episode uint64) {
 	if s.place == nil {
 		return
 	}
-	if lags := box.b.LagsInto(episode, s.lagBuf); lags != nil {
+	if lags := box.b.LagsInto(episode, s.lagBuf); len(lags) > 0 {
 		s.lagBuf = lags
 		s.place.Observe(lags)
 	}
@@ -368,16 +383,19 @@ func (s *session) onEpisode(st softbarrier.EpisodeStats) {
 		return // poison raced in mid-episode; members already have the cause
 	}
 	cur := s.ctrl.Current()
-	s.broadcast(s.releaseFrame(ep, s.degree(), cur.P, cur.Epoch, st.Spread, s.ctrl.Sigma(), result), true)
+	s.broadcastRelease(ep, s.releaseFrame(ep, s.degree(), cur.P, cur.Epoch, st.Spread, s.ctrl.Sigma(), result), s.releaseTargets())
 }
 
-// capture copies episode's folded result out of the completed core, or
-// returns nil for a plain barrier session.
+// capture copies episode's folded result out of the completed core into
+// the session's reusable capture buffer, or returns nil for a plain
+// barrier session. Releaser-only; the bytes are consumed (copied into the
+// release frame encoding) before the next episode's capture can run.
 func (s *session) capture(box *coreBox, episode uint64) []byte {
 	if s.op == nil {
 		return nil
 	}
-	return append([]byte(nil), box.b.Reduced(episode)...)
+	s.capBuf = append(s.capBuf[:0], box.b.Reduced(episode)...)
+	return s.capBuf
 }
 
 // releaseFrame builds the frame completing an episode: a Release for a
@@ -406,6 +424,11 @@ func (s *session) releaseFrame(ep uint64, degree, p int, epoch uint64, spread, s
 // safe: a leaver observes either the pre-boundary episode (and
 // proxy-arrives into the old tree, which still needs its arrival) or the
 // post-boundary membership (which no longer contains it).
+//
+// A boundary with unchanged membership — the elastic steady state — skips
+// compaction entirely: ids, members, and the controller's P are already
+// right, so the boundary degenerates to the fixed-membership episode path
+// (observe, re-plan if due, advance, fan out) and stays allocation-free.
 func (s *session) elasticBoundary(st softbarrier.EpisodeStats) {
 	s.mu.Lock()
 	ep := s.episode.Load()
@@ -413,34 +436,42 @@ func (s *session) elasticBoundary(st softbarrier.EpisodeStats) {
 	s.observePlacement(box, st.Episode)
 	result := s.capture(box, st.Episode) // before the boundary swaps the core
 
-	continuing := make([]*srvConn, 0, len(s.members))
+	continuing := s.contBuf[:0]
 	for _, m := range s.members {
 		if m != nil && !m.gone {
 			continuing = append(continuing, m)
 		}
 	}
-	admitted := s.pending
-	s.pending = nil
-	live := append(continuing, admitted...)
-	if len(live) == 0 {
-		s.retired = true
-		s.episode.Store(ep + 1)
-		s.mu.Unlock()
-		box.b.Close()
-		s.srv.retire(s)
-		return
-	}
-	for i, m := range live {
-		m.id.Store(int64(i))
-	}
-	for _, m := range admitted {
-		m.nextArrive.Store(ep + 1) // first legal arrival is the new epoch's episode
-	}
-	s.members = live
-	s.joined = len(live)
-	s.left = 0
-	if n := len(live); n != s.ctrl.Current().P {
-		s.ctrl.RequestP(n) // n ≥ 1 here, so the request cannot fail
+	s.contBuf = continuing
+	var admitted []*srvConn
+	if len(s.pending) > 0 || s.left > 0 {
+		admitted = s.pending
+		s.pending = nil
+		if len(continuing)+len(admitted) == 0 {
+			s.retired = true
+			s.episode.Store(ep + 1)
+			s.mu.Unlock()
+			box.b.Close()
+			s.srv.retire(s)
+			return
+		}
+		// The membership slice must not alias the reusable contBuf scratch:
+		// other goroutines read s.members under the mutex while the next
+		// boundary rewrites the scratch.
+		live := make([]*srvConn, 0, len(continuing)+len(admitted))
+		live = append(append(live, continuing...), admitted...)
+		for i, m := range live {
+			m.id.Store(int64(i))
+		}
+		for _, m := range admitted {
+			m.nextArrive.Store(ep + 1) // first legal arrival is the new epoch's episode
+		}
+		s.members = live
+		s.joined = len(live)
+		s.left = 0
+		if n := len(live); n != s.ctrl.Current().P {
+			s.ctrl.RequestP(n) // n ≥ 1 here, so the request cannot fail
+		}
 	}
 	var old arrivalTree
 	if !s.dead.Load() {
@@ -467,58 +498,82 @@ func (s *session) elasticBoundary(st softbarrier.EpisodeStats) {
 		return // poison raced in mid-episode; members already have the cause
 	}
 	deg := s.degree()
-	sigma := s.ctrl.Sigma()
+	wt := s.srv.opt.writeTimeout()
 	for _, m := range admitted {
 		resp := Frame{
 			Type: TypeJoinResp, ID: int(m.id.Load()), P: cur.P,
 			Degree: deg, Episode: ep + 1,
 		}
 		buf, err := AppendFrame(nil, resp)
-		if err == nil {
-			err = m.send(buf, s.srv.opt.writeTimeout())
-		}
 		if err != nil {
-			s.poison(fmt.Errorf("netbarrier: admitted client unreachable: %w", err))
+			s.poison(fmt.Errorf("netbarrier: internal: unencodable frame: %w", err))
 			return
 		}
+		// Enqueued like a release: an admitted member whose socket cannot be
+		// written poisons the session from its writer goroutine, without
+		// delaying anyone else's JoinResp or release.
+		m.enqueue(sendJob{buf: buf, timeout: wt, sess: s})
 	}
-	rel := s.releaseFrame(ep, deg, cur.P, cur.Epoch, st.Spread, sigma, result)
-	buf, err := AppendFrame(nil, rel)
-	if err != nil {
-		s.poison(fmt.Errorf("netbarrier: internal: unencodable frame: %w", err))
-		return
-	}
-	for _, m := range continuing {
-		if err := m.send(buf, s.srv.opt.writeTimeout()); err != nil {
-			s.poison(fmt.Errorf("netbarrier: client %d unreachable: %w", m.id.Load(), err))
-			return
-		}
-	}
+	s.broadcastRelease(ep, s.releaseFrame(ep, deg, cur.P, cur.Epoch, st.Spread, s.ctrl.Sigma(), result), continuing)
 }
 
 // onPoison is the WithPoisonNotify hook: whatever poisoned the tree —
 // watchdog stall, client disconnect, protocol violation, server shutdown —
 // lands here exactly once, and every member socket receives the
 // wire-encoded cause instead of a Release; pending joiners get a refusing
-// JoinResp. The session is retired so its name becomes reusable.
+// JoinResp, and a refusal that cannot be written is logged and the
+// connection closed, so the client fails fast instead of hanging until its
+// join timeout. Sends run concurrently — one stalled socket costs one
+// write deadline, not a deadline per member — but the hook still blocks
+// until every send finishes: Server.Close poisons sessions and then
+// immediately closes every connection, so the cause frames must be on the
+// wire before this returns. The session is retired so its name becomes
+// reusable.
 func (s *session) onPoison(err error) {
 	if !s.dead.CompareAndSwap(false, true) {
 		return
 	}
 	s.srv.opt.logf("session %s: poisoned: %v (arrivals %v)", s.name, err, s.core.Load().b.Arrivals())
-	s.broadcast(Frame{Type: TypePoison, Cause: softbarrier.EncodePoisonCause(nil, err)}, false)
 	s.mu.Lock()
+	members := make([]*srvConn, 0, s.joined)
+	for _, m := range s.members {
+		if m != nil && !m.gone {
+			members = append(members, m)
+		}
+	}
 	pending := s.pending
 	s.pending = nil
 	s.mu.Unlock()
-	if len(pending) > 0 {
-		buf, encErr := AppendFrame(nil, Frame{Type: TypeJoinResp, Err: fmt.Sprintf("session poisoned: %v", err)})
-		if encErr == nil {
-			for _, m := range pending {
-				m.send(buf, s.srv.opt.writeTimeout())
-			}
+
+	wt := s.srv.opt.writeTimeout()
+	var wg sync.WaitGroup
+	if buf, encErr := AppendFrame(nil, Frame{Type: TypePoison, Cause: softbarrier.EncodePoisonCause(nil, err)}); encErr == nil {
+		for _, m := range members {
+			wg.Add(1)
+			go func(m *srvConn) {
+				defer wg.Done()
+				m.send(buf, wt) // failure ignored: that member is already gone
+			}(m)
 		}
 	}
+	if len(pending) > 0 {
+		buf, encErr := AppendFrame(nil, Frame{Type: TypeJoinResp, Err: fmt.Sprintf("session poisoned: %v", err)})
+		for _, m := range pending {
+			wg.Add(1)
+			go func(m *srvConn) {
+				defer wg.Done()
+				sendErr := encErr
+				if sendErr == nil {
+					sendErr = m.send(buf, wt)
+				}
+				if sendErr != nil {
+					s.srv.opt.logf("session %s: failed to refuse pending client %s: %v", s.name, m.conn.RemoteAddr(), sendErr)
+					m.conn.Close()
+				}
+			}(m)
+		}
+	}
+	wg.Wait()
 	s.core.Load().b.Close()
 	s.srv.retire(s)
 }
@@ -527,30 +582,58 @@ func (s *session) onPoison(err error) {
 // current core performs the broadcast.
 func (s *session) poison(err error) { s.core.Load().b.Poison(err) }
 
-// broadcast encodes f once and writes it to every joined member, one
-// batched (single-flush) write per socket. A member we cannot write to
-// within the server's write timeout will never arrive again, so a failed
-// release write poisons the session; failed poison writes are ignored —
-// that member is already gone.
-func (s *session) broadcast(f Frame, poisonOnError bool) {
-	buf, err := AppendFrame(nil, f)
+// releaseTargets collects the live members into the releaser's reusable
+// scratch slice. Releaser-only.
+func (s *session) releaseTargets() []*srvConn {
+	s.mu.Lock()
+	ms := s.bcast[:0]
+	for _, m := range s.members {
+		if m != nil && !m.gone {
+			ms = append(ms, m)
+		}
+	}
+	s.bcast = ms
+	s.mu.Unlock()
+	return ms
+}
+
+// broadcastRelease encodes the episode-completing frame once — into the
+// parity-double-buffered release scratch, so a steady-state episode
+// encodes with zero allocations — and fans it out to ms concurrently, one
+// enqueue per member's writer goroutine. A member we cannot write to
+// within the server's write timeout will never arrive again, so its
+// (asynchronous) failed write poisons the session; every other member's
+// release is unaffected.
+//
+// Scratch safety: a same-parity buffer is reused two episodes later, by
+// which time every borrowing write has completed — a member must receive
+// episode k's release before it can arrive at k+1, and releases k+1 and
+// k+2 cannot exist before every member arrived. relPending guards the
+// residual race (a stalled socket still holding the buffer): nonzero means
+// encode into a fresh allocation instead.
+func (s *session) broadcastRelease(ep uint64, f Frame, ms []*srvConn) {
+	parity := ep & 1
+	pend := &s.relPending[parity]
+	var dst []byte
+	if pend.Load() == 0 {
+		dst = s.relScratch[parity][:0]
+	} else {
+		pend = nil // scratch still borrowed; this fan-out owns a private buffer
+	}
+	buf, err := AppendFrame(dst, f)
 	if err != nil {
 		s.poison(fmt.Errorf("netbarrier: internal: unencodable frame: %w", err))
 		return
 	}
-	s.mu.Lock()
-	members := make([]*srvConn, 0, s.joined)
-	for _, m := range s.members {
-		if m != nil && !m.gone {
-			members = append(members, m)
-		}
+	if pend != nil {
+		s.relScratch[parity] = buf
 	}
-	s.mu.Unlock()
-	for _, m := range members {
-		if err := m.send(buf, s.srv.opt.writeTimeout()); err != nil && poisonOnError {
-			s.poison(fmt.Errorf("netbarrier: client %d unreachable: %w", m.id.Load(), err))
-			return
+	wt := s.srv.opt.writeTimeout()
+	for _, m := range ms {
+		if pend != nil {
+			pend.Add(1)
 		}
+		m.enqueue(sendJob{buf: buf, timeout: wt, sess: s, pend: pend})
 	}
 }
 

@@ -1,0 +1,313 @@
+package netbarrier
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stallConn wraps a server-side connection so a test can freeze its write
+// path: while stalled, Write blocks — honoring SetWriteDeadline, so the
+// server's fan-out write still times out per the normal semantics — and
+// reads pass through untouched.
+type stallConn struct {
+	net.Conn
+	mu       sync.Mutex
+	stalled  bool
+	deadline time.Time
+}
+
+func (c *stallConn) SetStalled(v bool) {
+	c.mu.Lock()
+	c.stalled = v
+	c.mu.Unlock()
+}
+
+func (c *stallConn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *stallConn) Write(p []byte) (int, error) {
+	for {
+		c.mu.Lock()
+		stalled, deadline := c.stalled, c.deadline
+		c.mu.Unlock()
+		if !stalled {
+			return c.Conn.Write(p)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return 0, os.ErrDeadlineExceeded
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// stallListener wraps every accepted connection in a stallConn and records
+// them so the test can pick a victim by remote address.
+type stallListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []*stallConn
+}
+
+func (l *stallListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	sc := &stallConn{Conn: c}
+	l.mu.Lock()
+	l.conns = append(l.conns, sc)
+	l.mu.Unlock()
+	return sc, nil
+}
+
+// connFor returns the wrapped server-side conn whose remote address is
+// addr (a client conn's local address).
+func (l *stallListener) connFor(addr string) *stallConn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		if c.RemoteAddr().String() == addr {
+			return c
+		}
+	}
+	return nil
+}
+
+// startStallServer is startServer over a stallListener.
+func startStallServer(t *testing.T, opt Options) (addr string, ln *stallListener) {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln = &stallListener{Listener: raw}
+	srv := NewServer(opt)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return raw.Addr().String(), ln
+}
+
+// TestStalledSocketReleaseFanOut is the regression gate for the concurrent
+// release fan-out: with one member's server-side socket frozen, the other
+// members' Release frames must arrive within episode time — not after the
+// stalled member's write deadline, which is what the old sequential
+// broadcast cost them — and the stalled member must still poison the
+// session once its write times out.
+func TestStalledSocketReleaseFanOut(t *testing.T) {
+	const (
+		p            = 3
+		writeTimeout = 3 * time.Second
+		// A loopback episode completes in microseconds; a whole second of
+		// margin still proves the continuing members did not sit behind the
+		// victim's 3s write deadline.
+		promptly = 1 * time.Second
+	)
+	addr, ln := startStallServer(t, Options{WriteTimeout: writeTimeout, Watchdog: 30 * time.Second})
+
+	victim := dialJoin(t, addr, "stall", p, 0)
+	defer victim.Close()
+	c1 := dialJoin(t, addr, "stall", p, 1)
+	defer c1.Close()
+	c2 := dialJoin(t, addr, "stall", p, 2)
+	defer c2.Close()
+
+	// One clean episode so every connection is fully set up.
+	var wg sync.WaitGroup
+	for _, c := range []*Client{victim, c1, c2} {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			if _, err := c.Wait(); err != nil {
+				t.Errorf("warmup: %v", err)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	sc := ln.connFor(victim.conn.LocalAddr().String())
+	if sc == nil {
+		t.Fatal("no server-side conn for the victim client")
+	}
+	sc.SetStalled(true)
+
+	// Everyone arrives; the victim's release write will hang on its frozen
+	// socket, but episode completion must still release the others.
+	if err := victim.Arrive(); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var others sync.WaitGroup
+	lat := make([]time.Duration, 2)
+	errs := make([]error, 2)
+	for i, c := range []*Client{c1, c2} {
+		others.Add(1)
+		go func(i int, c *Client) {
+			defer others.Done()
+			_, errs[i] = c.Wait()
+			lat[i] = time.Since(start)
+		}(i, c)
+	}
+	others.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("continuing member %d: %v", i+1, errs[i])
+		}
+		if lat[i] > promptly {
+			t.Fatalf("continuing member %d released after %v; want ≤ %v (fan-out must not serialize behind the stalled socket's %v deadline)",
+				i+1, lat[i], promptly, writeTimeout)
+		}
+	}
+
+	// The stalled member's write eventually times out and poisons the
+	// session per the existing semantics: the continuing members' next Wait
+	// surfaces the poison cause.
+	sawPoison := make(chan error, 2)
+	for _, c := range []*Client{c1, c2} {
+		go func(c *Client) {
+			_, err := c.Wait()
+			sawPoison <- err
+		}(c)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-sawPoison:
+			if err == nil {
+				t.Fatal("episode after the stall released cleanly; want the session poisoned by the victim's write timeout")
+			}
+		case <-time.After(writeTimeout + 5*time.Second):
+			t.Fatal("timed out waiting for the stall to poison the session")
+		}
+	}
+}
+
+// TestPoisonedPendingJoinerFailsFast is the regression test for the
+// deferred-JoinResp poison path: a pending (elastic, not yet admitted)
+// joiner whose refusal cannot be written must have its connection closed so
+// the client fails fast, instead of silently hanging until its own join
+// timeout.
+func TestPoisonedPendingJoinerFailsFast(t *testing.T) {
+	var logMu sync.Mutex
+	var logLines []string
+	addr, ln := startStallServer(t, Options{
+		Elastic: true, WriteTimeout: 500 * time.Millisecond, Watchdog: 30 * time.Second,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logLines = append(logLines, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+
+	// Fill the initial cohort so the next join parks on the pending list.
+	a := dialJoin(t, addr, "pend", 1, -1)
+	defer a.Close()
+
+	pc, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	joinErr := make(chan error, 1)
+	go func() { joinErr <- pc.Join("pend", 1) }()
+
+	// Wait until the server has parked the pending joiner, then freeze its
+	// socket so the refusal write must fail.
+	deadline := time.Now().Add(5 * time.Second)
+	var sc *stallConn
+	for time.Now().Before(deadline) {
+		if sc = ln.connFor(pc.conn.LocalAddr().String()); sc != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sc == nil {
+		t.Fatal("no server-side conn for the pending joiner")
+	}
+	time.Sleep(50 * time.Millisecond) // let the JoinReq reach the session's pending list
+	sc.SetStalled(true)
+
+	// Poison the session: the lone member vanishing mid-session does it.
+	a.Close()
+
+	// The pending client must fail fast — refusal write times out after
+	// 500ms, then the server closes the connection — rather than hang for
+	// the full join timeout (10s default).
+	select {
+	case err := <-joinErr:
+		if err == nil {
+			t.Fatal("pending join succeeded on a poisoned session")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending joiner hung after session poison; want its connection closed so Join fails fast")
+	}
+	// And the failure is no longer silent: the refusal write's error is on
+	// the server's log.
+	logMu.Lock()
+	defer logMu.Unlock()
+	for _, line := range logLines {
+		if strings.Contains(line, "failed to refuse pending client") {
+			return
+		}
+	}
+	t.Fatalf("no 'failed to refuse pending client' log line; got %q", logLines)
+}
+
+// TestStalledSocketPoisonCause checks the stalled member itself: once its
+// write deadline expires the session poisons with an "unreachable" cause,
+// and the stalled member — whose socket only ever froze server-side
+// writes — sees the connection die rather than a clean release.
+func TestStalledSocketPoisonCause(t *testing.T) {
+	const p = 2
+	addr, ln := startStallServer(t, Options{WriteTimeout: 500 * time.Millisecond, Watchdog: 30 * time.Second})
+	victim := dialJoin(t, addr, "cause", p, 0)
+	defer victim.Close()
+	peer := dialJoin(t, addr, "cause", p, 1)
+	defer peer.Close()
+
+	var wg sync.WaitGroup
+	for _, c := range []*Client{victim, peer} {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			if _, err := c.Wait(); err != nil {
+				t.Errorf("warmup: %v", err)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	sc := ln.connFor(victim.conn.LocalAddr().String())
+	if sc == nil {
+		t.Fatal("no server-side conn for the victim client")
+	}
+	sc.SetStalled(true)
+
+	if err := victim.Arrive(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peer.Wait(); err != nil {
+		t.Fatalf("peer's release should beat the stall: %v", err)
+	}
+	// The peer's next wait surfaces the poison the victim's timed-out write
+	// caused.
+	if _, err := peer.Wait(); err == nil {
+		t.Fatal("want the victim's write timeout to poison the session")
+	} else if !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("poison cause = %v; want the victim reported unreachable", err)
+	}
+}

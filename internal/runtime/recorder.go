@@ -89,6 +89,11 @@ func (r *Recorder) Measure(episode uint64) (m Measurement, ok bool) {
 		return Measurement{}, false
 	}
 	slots := r.arrivals[episode&1]
+	if len(slots) == 0 {
+		// A recorder shrunk to zero participants has nothing to measure;
+		// still stamp the release so Emit's delay math stays sane.
+		return Measurement{Released: r.clock()}, true
+	}
 	first, last := slots[0].V, slots[0].V
 	for i := range slots {
 		v := slots[i].V
@@ -107,12 +112,17 @@ func (r *Recorder) Measure(episode uint64) (m Measurement, ok bool) {
 // lags — arrival time minus the episode's earliest arrival, seconds —
 // the signal a placement policy consumes. dst is reused when it has the
 // capacity. Like Measure it is releaser-only, before the episode's
-// release; a nil recorder returns nil.
+// release; a nil recorder returns nil, and a recorder shrunk to zero
+// participants returns dst[:0] (there is no earliest arrival to lag
+// behind, and indexing an empty slot array would panic).
 func (r *Recorder) LagsInto(episode uint64, dst []float64) []float64 {
 	if r == nil {
 		return nil
 	}
 	slots := r.arrivals[episode&1]
+	if len(slots) == 0 {
+		return dst[:0]
+	}
 	if cap(dst) < len(slots) {
 		dst = make([]float64, len(slots))
 	}

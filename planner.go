@@ -44,14 +44,16 @@ type Recommendation struct {
 	Rationale string
 }
 
-// Recommend applies the paper's decision procedure to a workload profile:
+// RecommendConfig is the planner's decision procedure without the prose:
 // the analytic model (§3–4) picks the tree degree from (p, σ, t_c), and
 // dynamic placement (§5) is enabled exactly when the arrival order is
 // predictable — systemic imbalance, or slack comfortably exceeding the
 // per-iteration spread (the Fig. 5/8/13 condition; below that threshold
-// dynamic placement measured slower than static). It panics for P < 1 or
-// negative quantities.
-func Recommend(pr Profile) Recommendation {
+// dynamic placement measured slower than static). It allocates nothing,
+// which is what per-episode re-planning loops (internal/reconfig) need:
+// with the default every-episode cadence the recommender sits on the
+// steady-state release path. It panics for P < 1 or negative quantities.
+func RecommendConfig(pr Profile) (degree int, dynamic bool) {
 	if pr.P < 1 {
 		panic("softbarrier: profile needs at least one participant")
 	}
@@ -62,15 +64,25 @@ func Recommend(pr Profile) Recommendation {
 	if tc == 0 {
 		tc = 20e-6
 	}
-	rec := Recommendation{Degree: clampDegree(OptimalDegree(pr.P, pr.Sigma, tc), pr.P)}
-	rationale := fmt.Sprintf("degree %d from the analytic model (p=%d, σ=%.3gs, t_c=%.3gs)",
-		rec.Degree, pr.P, pr.Sigma, tc)
-
+	degree = clampDegree(OptimalDegree(pr.P, pr.Sigma, tc), pr.P)
 	// The §7 measurements put the static/dynamic crossover near the point
 	// where the slack covers a few arrival spreads; require 2σ.
 	predictable := pr.Systemic || (pr.Slack > 0 && pr.Slack >= 2*pr.Sigma)
-	if predictable && pr.P > 1 {
-		rec.Dynamic = true
+	return degree, predictable && pr.P > 1
+}
+
+// Recommend is RecommendConfig with the reasoning attached: the same
+// decisions, explained for logs and humans.
+func Recommend(pr Profile) Recommendation {
+	tc := pr.Tc
+	if tc == 0 {
+		tc = 20e-6
+	}
+	degree, dynamic := RecommendConfig(pr)
+	rec := Recommendation{Degree: degree, Dynamic: dynamic}
+	rationale := fmt.Sprintf("degree %d from the analytic model (p=%d, σ=%.3gs, t_c=%.3gs)",
+		rec.Degree, pr.P, pr.Sigma, tc)
+	if rec.Dynamic {
 		if pr.Systemic {
 			rationale += "; dynamic placement on (systemic imbalance makes the late arrivals predictable)"
 		} else {

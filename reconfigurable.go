@@ -348,8 +348,9 @@ func (b *ReconfigurableBarrier) release(st *rcState) {
 	m, _ := b.rec.Measure(seq)
 	b.ctrl.Observe(m.Spread)
 	if b.place != nil {
-		b.lagBuf = b.rec.LagsInto(seq, b.lagBuf)
-		b.place.Observe(b.lagBuf)
+		if b.lagBuf = b.rec.LagsInto(seq, b.lagBuf); len(b.lagBuf) > 0 {
+			b.place.Observe(b.lagBuf)
+		}
 	}
 	if plan, ok := b.ctrl.Evaluate(); ok {
 		// The new epoch's first episode runs at the generation the Open
