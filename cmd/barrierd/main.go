@@ -8,6 +8,8 @@
 //	barrierd [-listen 127.0.0.1:7643] [-watchdog 10s] [-replan 10]
 //	         [-dynamic] [-elastic] [-tc SECONDS] [-sigma SECONDS]
 //	         [-collective OP] [-placement POLICY]
+//	         [-role standalone|root|leaf] [-root ADDR]
+//	         [-shards N] [-shard-id I]
 //
 // With -elastic, session membership may change between episodes: joins
 // against a full session are parked and admitted at the next episode
@@ -28,6 +30,28 @@
 // xor-u64, or sum-f64 — and clients must agree on it out-of-band (ops
 // are code; only their names travel).
 //
+// # Hierarchical deployment
+//
+// One barrierd caps out at one accept loop and one process's fan-out; a
+// fleet splits the population across leaf shards that each combine their
+// local clients and synchronize through a root (internal/shardbarrier):
+//
+//	barrierd -role root -listen 10.0.0.1:7643
+//	barrierd -role leaf -root 10.0.0.1:7643 -shards 4 -shard-id 0 -listen :7643
+//	barrierd -role leaf -root 10.0.0.1:7643 -shards 4 -shard-id 1 -listen :7643
+//	...
+//
+// A root is an ordinary barrierd that leaves join with shard frames;
+// -role root exists for operational clarity, not a different server.
+// Every leaf of one fleet uses a distinct -shard-id in [0, -shards) —
+// the shard id pins the leaf's slot in the root's deterministic
+// ascending-id fold, keeping non-commutative collectives bit-identical
+// fleet-wide. Leaves and root must agree on -collective (and should
+// agree on the planner flags); clients connect to any leaf and use the
+// leaf-local participant count for their session. Mixed protocol
+// revisions fail fast: every handshake carries a version byte, and a
+// mismatch is refused with an error naming both versions.
+//
 // The daemon serves until SIGINT or SIGTERM, then poisons every live
 // session (members receive a "server closed" cause instead of a hang)
 // and exits cleanly.
@@ -44,6 +68,7 @@ import (
 
 	"softbarrier/internal/cli"
 	"softbarrier/internal/netbarrier"
+	"softbarrier/internal/shardbarrier"
 )
 
 func main() {
@@ -56,20 +81,42 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := nf.ValidateRole(); err != nil {
+		log.Fatal(err)
+	}
 	opt.Logf = log.Printf
 
 	ln, err := net.Listen("tcp", nf.Listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := netbarrier.NewServer(opt)
+
+	// The serve/close pair the role selects; a root is an ordinary server
+	// (shard frames are part of the base protocol), a leaf wraps one.
+	var serve func() error
+	var closer interface{ Close() error }
+	switch nf.Role {
+	case "leaf":
+		leaf := shardbarrier.NewLeaf(shardbarrier.LeafOptions{
+			Net:    opt,
+			Root:   nf.Root,
+			Index:  nf.ShardID,
+			Shards: nf.Shards,
+		})
+		serve = func() error { return leaf.Serve(ln) }
+		closer = leaf
+	default:
+		srv := netbarrier.NewServer(opt)
+		serve = func() error { return srv.Serve(ln) }
+		closer = srv
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		s := <-sig
 		log.Printf("received %v, shutting down", s)
-		srv.Close()
+		closer.Close()
 	}()
 
 	coll := "none"
@@ -80,9 +127,13 @@ func main() {
 	if place == "" {
 		place = "none"
 	}
-	log.Printf("listening on %s (watchdog %v, replan every %d episodes, dynamic %v, elastic %v, collective %s, placement %s)",
-		ln.Addr(), opt.Watchdog, opt.ReplanEvery, opt.Dynamic, opt.Elastic, coll, place)
-	if err := srv.Serve(ln); err != nil && !errors.Is(err, netbarrier.ErrServerClosed) {
+	role := nf.Role
+	if role == "leaf" {
+		role = "leaf of " + nf.Root
+	}
+	log.Printf("listening on %s as %s (watchdog %v, replan every %d episodes, dynamic %v, elastic %v, collective %s, placement %s)",
+		ln.Addr(), role, opt.Watchdog, opt.ReplanEvery, opt.Dynamic, opt.Elastic, coll, place)
+	if err := serve(); err != nil && !errors.Is(err, netbarrier.ErrServerClosed) {
 		log.Fatal(err)
 	}
 }

@@ -1,7 +1,8 @@
 // Command benchtraj records the repo's performance trajectory: it runs
 // the hot-path benchmark suite (in-process barrier episodes, loopback
-// netbarrier at 2/8/64/512 clients, netbarrier AllReduce at 8/64, and
-// the placement-policy simulation with its simsync-ns/op quality metric)
+// netbarrier at 2/8/64/512 clients, netbarrier AllReduce at 8/64, the
+// placement-policy simulation with its simsync-ns/op quality metric, and
+// the hierarchical fleet at 2/4 leaves with 64/256 clients)
 // via `go test -bench` and writes the parsed results as BENCH_<n>.json,
 // one file per PR. Future PRs regenerate with the next -n and diff against
 // the committed history, so perf claims land as measured before/afters
@@ -40,6 +41,7 @@ var suite = []struct {
 	{".", "BenchmarkWaiterPolicies|BenchmarkRuntimeBarriers"},
 	{"./internal/netbarrier", "BenchmarkNetBarrier|BenchmarkNetAllReduce"},
 	{"./internal/barriersim", "BenchmarkPlacementPolicies"},
+	{"./internal/shardbarrier", "BenchmarkHierarchical"},
 }
 
 // Result is one parsed benchmark line.

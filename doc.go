@@ -112,6 +112,13 @@
 // EncodePoisonCause, so errors.As and errors.Is keep working on the far
 // side of the network.
 //
+// At fleet scale the hierarchy gains a second level: leaf barrierds
+// (internal/shardbarrier, barrierd -role leaf) each combine their local
+// clients and forward one aggregated arrival per episode to a root
+// barrierd, which combines the shards and fans a single fleet-wide
+// release — with its participant-weighted fleet σ and, for collectives,
+// the deterministically folded global result — back down.
+//
 // # Fidelity note
 //
 // These barriers are real concurrent data structures, but Go's scheduler

@@ -168,6 +168,20 @@ type NetFlags struct {
 	Tc float64
 	// Sigma is the arrival spread assumed before any episode is measured.
 	Sigma float64
+	// Role selects the daemon's place in a hierarchical deployment:
+	// "standalone" (the default single-server mode), "root" (the
+	// inter-shard coordinator leaf barrierds synchronize through), or
+	// "leaf" (a shard combining local clients and forwarding one
+	// aggregated arrival per episode to -root).
+	Role string
+	// Root is the root barrierd's address; required for -role leaf.
+	Root string
+	// ShardID is this leaf's shard index — its slot in the root's
+	// deterministic ascending-id fold. Leaves of one fleet use distinct
+	// ids in [0, -shards).
+	ShardID int
+	// Shards is how many leaf shards join the root for each session.
+	Shards int
 }
 
 // AddNetFlags registers the barrierd service flags on the default FlagSet.
@@ -184,7 +198,34 @@ func AddNetFlags() *NetFlags {
 		"serve collective sessions folding contributions with this op, one of: "+strings.Join(softbarrier.OpNames(), ", "))
 	flag.StringVar(&f.Placement, "placement", "",
 		"predictive straggler-placement policy, one of: "+strings.Join(softbarrier.PlacementNames(), ", "))
+	flag.StringVar(&f.Role, "role", "standalone", "deployment role: standalone | root | leaf")
+	flag.StringVar(&f.Root, "root", "", "root barrierd address (required with -role leaf)")
+	flag.IntVar(&f.ShardID, "shard-id", 0, "this leaf's shard index in [0, -shards) (-role leaf)")
+	flag.IntVar(&f.Shards, "shards", 1, "leaf shards joining the root per session (-role leaf)")
 	return f
+}
+
+// ValidateRole checks the hierarchical-deployment flag combination.
+func (f *NetFlags) ValidateRole() error {
+	switch f.Role {
+	case "standalone", "root":
+		if f.Root != "" {
+			return fmt.Errorf("-root is only meaningful with -role leaf")
+		}
+		return nil
+	case "leaf":
+		if f.Root == "" {
+			return fmt.Errorf("-role leaf requires -root ADDR")
+		}
+		if f.Shards < 1 {
+			return fmt.Errorf("-shards must be ≥ 1, got %d", f.Shards)
+		}
+		if f.ShardID < 0 || f.ShardID >= f.Shards {
+			return fmt.Errorf("-shard-id %d outside [0, %d)", f.ShardID, f.Shards)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown -role %q (want standalone, root or leaf)", f.Role)
 }
 
 // Placement resolves a policy name to its constructor, erroring on an

@@ -24,6 +24,7 @@ type Release struct {
 	Epoch   uint64  // the next episode's configuration epoch
 	Spread  float64 // this episode's arrival spread, seconds
 	Sigma   float64 // the session's EWMA σ estimate, seconds
+	FleetP  int     // shard peers only: fleet-wide participant count across every shard
 	Result  []byte  // collective sessions: the episode's folded result
 }
 
@@ -57,16 +58,74 @@ type Client struct {
 	err     error
 }
 
-// Dial connects to a barrierd server. Join must be called next.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// DialConn establishes the raw transport a barrierd peer runs over: TCP
+// with Nagle disabled (arrive/release frames are latency-bound), OS
+// keepalive armed (a peer that silently vanishes — powered off, cable
+// pulled, NAT state dropped — is detected even between episodes, when
+// neither side is writing), and the whole connection attempt bounded by
+// timeout (0 = no bound). It is the dial path shared by Client and the
+// inter-shard leaf→root links.
+func DialConn(addr string, timeout time.Duration) (net.Conn, error) {
+	d := net.Dialer{Timeout: timeout, KeepAlive: 15 * time.Second}
+	conn, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+	return conn, nil
+}
+
+// RedialConn is DialConn with a bounded reconnect loop: up to attempts
+// tries, sleeping backoff after the first failure and doubling it after
+// each subsequent one (capped at 30× the initial backoff). It returns the
+// first successful connection or the last dial error. The inter-shard
+// leaf→root link uses it so a root that is still starting up — the common
+// fleet-bringup race — is retried instead of failing the first session,
+// while a root that is genuinely gone still fails within a bound the
+// caller chose, and the leaf can poison its sessions with that cause
+// rather than hang.
+func RedialConn(addr string, timeout time.Duration, attempts int, backoff time.Duration) (net.Conn, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	sleep := backoff
+	for try := 0; try < attempts; try++ {
+		if try > 0 && sleep > 0 {
+			time.Sleep(sleep)
+			if sleep < 30*backoff {
+				sleep *= 2
+			}
+		}
+		conn, err := DialConn(addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("netbarrier: dialing %s failed after %d attempts: %w", addr, attempts, lastErr)
+}
+
+// Dial connects to a barrierd server with no connect bound. Join must be
+// called next.
+func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0) }
+
+// DialTimeout is Dial with the connection attempt bounded by timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := DialConn(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (from DialConn/RedialConn, or
+// anything else that speaks the wire protocol) as a Client. Join or
+// ShardJoin must be called next.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
 }
 
 // Join enters the named session as one of p participants, letting the
@@ -75,13 +134,26 @@ func (c *Client) Join(session string, p int) error { return c.JoinAs(session, p,
 
 // JoinAs is Join with an explicit participant id request.
 func (c *Client) JoinAs(session string, p, id int) error {
+	return c.join(TypeJoinReq, session, p, id)
+}
+
+// ShardJoin enters the named session as one of shards aggregated shard
+// participants — the handshake a leaf barrierd performs against its root.
+// A shard id ≥ 0 pins this shard's slot in the root's deterministic
+// ascending-id fold (so a fleet that cares about bit-identical collective
+// results assigns stable shard indices); -1 takes any free slot.
+func (c *Client) ShardJoin(session string, shards, id int) error {
+	return c.join(TypeShardJoin, session, shards, id)
+}
+
+func (c *Client) join(typ byte, session string, p, id int) error {
 	if c.err != nil {
 		return c.err
 	}
 	if c.joined {
 		return c.fail(errors.New("netbarrier: already joined"))
 	}
-	if err := c.write(Frame{Type: TypeJoinReq, Name: session, P: p, ID: id}); err != nil {
+	if err := c.write(Frame{Type: typ, Name: session, P: p, ID: id}); err != nil {
 		return c.fail(err)
 	}
 	resp, err := ReadFrameInto(c.br, &c.rbuf)
@@ -156,6 +228,47 @@ func (c *Client) ArriveReduce(in []byte) error {
 	return nil
 }
 
+// ShardArrive forwards this shard's combined arrival at the current
+// episode: localP is how many local participants it aggregates, spread
+// and sigma the shard's local arrival measurements, and data its locally
+// folded collective contribution (nil for plain sessions). It is the
+// ShardJoin counterpart of Arrive/ArriveReduce; the episode completes
+// with a shard-release, surfaced by Await with FleetP and Result set.
+func (c *Client) ShardArrive(localP int, spread, sigma float64, data []byte) error {
+	if c.err != nil {
+		return c.err
+	}
+	if !c.joined {
+		return c.fail(errors.New("netbarrier: arrive before join"))
+	}
+	if err := c.write(Frame{Type: TypeShardArrive, Episode: c.episode, P: localP, Spread: spread, Sigma: sigma, Data: data}); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// Poison delivers a poison cause upstream: the session is aborted for
+// every participant with err as the wire-encoded cause, exactly as if the
+// server had poisoned it locally. Only shard peers may send it — a leaf
+// whose local cohort failed uses it to hand the root the original cause
+// (a *StallError naming the absent local clients, say) instead of the
+// anonymous "shard disconnected" a bare connection drop would produce.
+// The client is failed with err afterwards; the connection is left for
+// the caller to close.
+func (c *Client) Poison(err error) error {
+	if c.err != nil {
+		return c.err
+	}
+	if !c.joined {
+		return c.fail(errors.New("netbarrier: poison before join"))
+	}
+	if werr := c.write(Frame{Type: TypePoison, Cause: softbarrier.EncodePoisonCause(nil, err)}); werr != nil {
+		return c.fail(werr)
+	}
+	c.fail(err)
+	return nil
+}
+
 // AllReduce is ArriveReduce followed by Await: contribute in, block until
 // every participant has contributed, and return the folded result (the
 // deterministic ascending-id fold for non-commutative ops). The result
@@ -185,7 +298,7 @@ func (c *Client) Await() (Release, error) {
 		return Release{}, c.fail(fmt.Errorf("netbarrier: connection failed awaiting release: %w", err))
 	}
 	switch f.Type {
-	case TypeRelease, TypeResult:
+	case TypeRelease, TypeResult, TypeShardRelease:
 		c.episode = f.Episode + 1
 		c.degree = f.Degree
 		if f.P > 0 {
@@ -194,8 +307,14 @@ func (c *Client) Await() (Release, error) {
 		c.epoch = f.Epoch
 		c.sigma = f.Sigma
 		rel := Release{Episode: f.Episode, Degree: f.Degree, P: f.P, Epoch: f.Epoch, Spread: f.Spread, Sigma: f.Sigma}
-		if f.Type == TypeResult {
+		switch f.Type {
+		case TypeResult:
 			rel.Result = append([]byte(nil), f.Data...)
+		case TypeShardRelease:
+			rel.FleetP = f.FleetP
+			if len(f.Data) > 0 {
+				rel.Result = append([]byte(nil), f.Data...)
+			}
 		}
 		return rel, nil
 	case TypePoison:

@@ -25,7 +25,19 @@
 // errors.As recovers the *StallError naming who never arrived, instead of
 // the client hanging on a dead episode.
 //
-// The wire protocol is six length-prefixed binary frame types (see
+// The wire protocol is eleven length-prefixed binary frame types (see
 // protocol.go); release fan-out assembles each frame once and writes it
-// to each member socket in a single batched write.
+// to each member socket in a single batched write. Handshake frames
+// (JoinReq, ShardJoin, JoinResp) carry a protocol version byte, so a
+// mixed-revision deployment is refused at join time with an error naming
+// both versions instead of failing later with a garbled frame.
+//
+// The ShardJoin/ShardArrive/ShardRelease frames carry the hierarchical
+// deployment (internal/shardbarrier): a leaf server combines its local
+// clients through its own tree, then — via Options.Upstream — forwards
+// one aggregated arrival per episode to a root barrierd, which combines
+// the shards exactly like a session of clients and fans one release back
+// down. The root is this same Server; shard sessions differ only in that
+// their arrivals carry pre-folded partial results and their releases
+// carry the fleet-wide fold, σ, and participant count.
 package netbarrier

@@ -18,7 +18,7 @@ func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
 //	frame   := length(uint32, big-endian, of body) body
 //	body    := type(1 byte) payload
 //
-// Eight frame types cover the whole lifecycle. A client joins a named
+// Eleven frame types cover the whole lifecycle. A client joins a named
 // session (JoinReq/JoinResp), then alternates Arrive (client → server)
 // with Release (server → client) once per episode, and finally departs
 // with Leave. Poison (server → client) replaces Release when the episode
@@ -26,14 +26,25 @@ func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
 // remote waiter gets the same *StallError / sentinel error a local waiter
 // would. Collective sessions substitute ArriveData for Arrive (the
 // arrival carries the client's contribution bytes) and Result for
-// Release (the release carries the folded result). All integers are
-// big-endian; floats travel as IEEE-754 bits.
+// Release (the release carries the folded result). The three shard frames
+// (ShardJoin/ShardArrive/ShardRelease) are the inter-shard dialect of the
+// same lifecycle, spoken by a leaf barrierd to its root: one aggregated
+// arrival per leaf per episode instead of one per client. All integers
+// are big-endian; floats travel as IEEE-754 bits.
+//
+// Every handshake frame (JoinReq, JoinResp, ShardJoin) leads with a
+// protocol version byte. The decoder rejects any other version with an
+// explicit mismatch error, so a leaf and a root built from different
+// protocol revisions fail fast at join time instead of mis-decoding each
+// other's episode frames. Post-handshake frames ride the version the
+// handshake established and carry no byte of their own.
 const (
 	// TypeJoinReq (client → server) opens a session membership:
-	// nameLen(uint16) name p(uint32) id(int32; -1 = server assigns).
+	// version(1) nameLen(uint16) name p(uint32) id(int32; -1 = server
+	// assigns).
 	TypeJoinReq = byte(1)
 	// TypeJoinResp (server → client) answers a join:
-	// id(uint32) p(uint32) degree(uint32) episode(uint64)
+	// version(1) id(uint32) p(uint32) degree(uint32) episode(uint64)
 	// errLen(uint16) err. A non-empty err refuses the join; the other
 	// fields are then meaningless.
 	TypeJoinResp = byte(2)
@@ -66,7 +77,38 @@ const (
 	// contribution of every participant (deterministic ascending-id fold
 	// for non-commutative ops).
 	TypeResult = byte(8)
+	// TypeShardJoin (leaf → root) registers a leaf barrierd shard as one
+	// aggregated participant of a session's inter-shard cohort:
+	// version(1) nameLen(uint16) name shards(uint32) id(int32; -1 = root
+	// assigns). shards is the session's shard-cohort size, exactly as a
+	// JoinReq's p is its client-cohort size; the root answers with a
+	// JoinResp.
+	TypeShardJoin = byte(9)
+	// TypeShardArrive (leaf → root) forwards a leaf's combined arrival at
+	// an episode: episode(uint64) localP(uint32) spreadBits(uint64)
+	// sigmaBits(uint64) dataLen(uint16) data. localP is how many local
+	// clients the leaf combined into this arrival, spread/sigma its local
+	// arrival measurements, and data the leaf's locally folded collective
+	// contribution (empty for plain sessions).
+	TypeShardArrive = byte(10)
+	// TypeShardRelease (root → leaf) completes an inter-shard episode:
+	// episode(uint64) degree(uint32) shards(uint32) epoch(uint64)
+	// spreadBits(uint64) sigmaBits(uint64) fleetP(uint32)
+	// resultLen(uint16) result. degree/shards/epoch describe the root
+	// tree's next-episode configuration, spread is the measured
+	// inter-shard arrival spread, sigma the fleet-wide σ aggregated from
+	// the shards' reports, fleetP the fleet-wide participant count, and
+	// result the globally folded collective payload (empty for plain
+	// sessions).
+	TypeShardRelease = byte(11)
 )
+
+// ProtocolVersion is the wire-protocol revision this binary speaks. It is
+// carried by every handshake frame and checked by the decoder: any other
+// value is rejected with a mismatch error naming both revisions, so
+// mixed-revision deployments (a leaf and a root built from different
+// releases) fail fast and legibly at join time.
+const ProtocolVersion = byte(1)
 
 // FrameName returns the symbolic name of a frame type for error messages
 // and logs, or "type(N)" for an unknown type.
@@ -88,6 +130,12 @@ func FrameName(t byte) string {
 		return "arrive-data"
 	case TypeResult:
 		return "result"
+	case TypeShardJoin:
+		return "shard-join"
+	case TypeShardArrive:
+		return "shard-arrive"
+	case TypeShardRelease:
+		return "shard-release"
 	default:
 		return fmt.Sprintf("type(%d)", t)
 	}
@@ -111,17 +159,19 @@ const (
 // fields are meaningful (see the Type constants).
 type Frame struct {
 	Type    byte
-	Name    string  // JoinReq: session name
-	P       int     // JoinReq, JoinResp, Release: participant count
-	ID      int     // JoinReq: requested id (-1 = any); JoinResp: assigned id
-	Degree  int     // JoinResp, Release: current tree degree
-	Episode uint64  // JoinResp, Arrive, Release: episode index
-	Epoch   uint64  // Release: configuration epoch index
-	Spread  float64 // Release: measured arrival spread, seconds
-	Sigma   float64 // Release: EWMA σ estimate, seconds
+	Version byte    // JoinReq, JoinResp, ShardJoin: protocol revision (encoder always writes ProtocolVersion)
+	Name    string  // JoinReq, ShardJoin: session name
+	P       int     // JoinReq, JoinResp, Release: participant count; ShardJoin, ShardRelease: shard count; ShardArrive: local participant count
+	ID      int     // JoinReq, ShardJoin: requested id (-1 = any); JoinResp: assigned id
+	Degree  int     // JoinResp, Release, ShardRelease: current tree degree
+	Episode uint64  // JoinResp, Arrive, Release, ShardArrive, ShardRelease: episode index
+	Epoch   uint64  // Release, ShardRelease: configuration epoch index
+	Spread  float64 // Release, ShardRelease: measured arrival spread; ShardArrive: the leaf's local spread, seconds
+	Sigma   float64 // Release, ShardRelease: EWMA σ estimate; ShardArrive: the leaf's local σ, seconds
+	FleetP  int     // ShardRelease: fleet-wide participant count across every shard
 	Err     string  // JoinResp: refusal reason ("" = accepted)
 	Cause   []byte  // Poison: wire-encoded poison cause
-	Data    []byte  // ArriveData: contribution; Result: folded result
+	Data    []byte  // ArriveData: contribution; Result: folded result; ShardArrive: leaf-folded contribution; ShardRelease: globally folded result
 }
 
 // AppendFrame appends f's complete wire form — length prefix included —
@@ -131,7 +181,7 @@ type Frame struct {
 // is written, so dst is untouched on error.
 func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	switch f.Type {
-	case TypeJoinReq:
+	case TypeJoinReq, TypeShardJoin:
 		if len(f.Name) > MaxName {
 			return nil, fmt.Errorf("netbarrier: %s session name %d bytes exceeds %d", FrameName(f.Type), len(f.Name), MaxName)
 		}
@@ -143,7 +193,7 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 		if len(f.Cause) > 0xffff {
 			return nil, fmt.Errorf("netbarrier: %s cause %d bytes exceeds %d", FrameName(f.Type), len(f.Cause), 0xffff)
 		}
-	case TypeArriveData, TypeResult:
+	case TypeArriveData, TypeResult, TypeShardArrive, TypeShardRelease:
 		if len(f.Data) > MaxData {
 			return nil, fmt.Errorf("netbarrier: %s payload %d bytes exceeds %d", FrameName(f.Type), len(f.Data), MaxData)
 		}
@@ -156,12 +206,14 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	dst = append(dst, 0, 0, 0, 0) // length back-patched below
 	dst = append(dst, f.Type)
 	switch f.Type {
-	case TypeJoinReq:
+	case TypeJoinReq, TypeShardJoin:
+		dst = append(dst, ProtocolVersion)
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Name)))
 		dst = append(dst, f.Name...)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(f.P))
 		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(f.ID)))
 	case TypeJoinResp:
+		dst = append(dst, ProtocolVersion)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(f.ID))
 		dst = binary.BigEndian.AppendUint32(dst, uint32(f.P))
 		dst = binary.BigEndian.AppendUint32(dst, uint32(f.Degree))
@@ -195,6 +247,23 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Sigma))
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Data)))
 		dst = append(dst, f.Data...)
+	case TypeShardArrive:
+		dst = binary.BigEndian.AppendUint64(dst, f.Episode)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.P))
+		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Spread))
+		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Sigma))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Data)))
+		dst = append(dst, f.Data...)
+	case TypeShardRelease:
+		dst = binary.BigEndian.AppendUint64(dst, f.Episode)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.Degree))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.P))
+		dst = binary.BigEndian.AppendUint64(dst, f.Epoch)
+		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Spread))
+		dst = binary.BigEndian.AppendUint64(dst, floatBits(f.Sigma))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.FleetP))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Data)))
+		dst = append(dst, f.Data...)
 	}
 	body := len(dst) - start - lenSize
 	if body > MaxFrame {
@@ -218,18 +287,28 @@ func DecodeFrame(body []byte) (Frame, error) {
 	f := Frame{Type: body[0]}
 	b := body[1:]
 	switch f.Type {
-	case TypeJoinReq:
+	case TypeJoinReq, TypeShardJoin:
+		var err error
+		if b, err = checkVersion(f.Type, b); err != nil {
+			return Frame{}, err
+		}
+		f.Version = ProtocolVersion
 		n, rest, err := lengthPrefixed(b, "session name", MaxName)
 		if err != nil {
 			return Frame{}, err
 		}
 		if len(rest) != 8 {
-			return Frame{}, fmt.Errorf("netbarrier: join request wants 8 trailing bytes, has %d", len(rest))
+			return Frame{}, fmt.Errorf("netbarrier: %s wants 8 trailing bytes, has %d", FrameName(f.Type), len(rest))
 		}
 		f.Name = string(n)
 		f.P = int(binary.BigEndian.Uint32(rest))
 		f.ID = int(int32(binary.BigEndian.Uint32(rest[4:])))
 	case TypeJoinResp:
+		var err error
+		if b, err = checkVersion(f.Type, b); err != nil {
+			return Frame{}, err
+		}
+		f.Version = ProtocolVersion
 		if len(b) < 22 {
 			return Frame{}, fmt.Errorf("netbarrier: join response wants ≥ 22 bytes, has %d", len(b))
 		}
@@ -304,10 +383,60 @@ func DecodeFrame(body []byte) (Frame, error) {
 			return Frame{}, fmt.Errorf("netbarrier: %d trailing bytes after %s", len(rest), FrameName(f.Type))
 		}
 		f.Data = d
+	case TypeShardArrive:
+		if len(b) < 28 {
+			return Frame{}, fmt.Errorf("netbarrier: %s wants ≥ 28 bytes, has %d", FrameName(f.Type), len(b))
+		}
+		f.Episode = binary.BigEndian.Uint64(b)
+		f.P = int(binary.BigEndian.Uint32(b[8:]))
+		f.Spread = bitsFloat(binary.BigEndian.Uint64(b[12:]))
+		f.Sigma = bitsFloat(binary.BigEndian.Uint64(b[20:]))
+		d, rest, err := lengthPrefixed(b[28:], "shard-arrive payload", MaxData)
+		if err != nil {
+			return Frame{}, err
+		}
+		if len(rest) != 0 {
+			return Frame{}, fmt.Errorf("netbarrier: %d trailing bytes after %s", len(rest), FrameName(f.Type))
+		}
+		f.Data = d
+	case TypeShardRelease:
+		if len(b) < 44 {
+			return Frame{}, fmt.Errorf("netbarrier: %s wants ≥ 44 bytes, has %d", FrameName(f.Type), len(b))
+		}
+		f.Episode = binary.BigEndian.Uint64(b)
+		f.Degree = int(binary.BigEndian.Uint32(b[8:]))
+		f.P = int(binary.BigEndian.Uint32(b[12:]))
+		f.Epoch = binary.BigEndian.Uint64(b[16:])
+		f.Spread = bitsFloat(binary.BigEndian.Uint64(b[24:]))
+		f.Sigma = bitsFloat(binary.BigEndian.Uint64(b[32:]))
+		f.FleetP = int(binary.BigEndian.Uint32(b[40:]))
+		d, rest, err := lengthPrefixed(b[44:], "shard-release payload", MaxData)
+		if err != nil {
+			return Frame{}, err
+		}
+		if len(rest) != 0 {
+			return Frame{}, fmt.Errorf("netbarrier: %d trailing bytes after %s", len(rest), FrameName(f.Type))
+		}
+		f.Data = d
 	default:
 		return Frame{}, fmt.Errorf("netbarrier: unknown frame %s", FrameName(f.Type))
 	}
 	return f, nil
+}
+
+// checkVersion consumes the leading protocol-version byte of a handshake
+// frame, rejecting any revision other than the one this binary speaks.
+// The mismatch error is deliberately explicit: it is the one diagnostic a
+// mixed-revision deployment (say, a leaf barrierd from one release joined
+// to a root from another) gets before the connection is torn down.
+func checkVersion(t byte, b []byte) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("netbarrier: %s missing protocol version byte", FrameName(t))
+	}
+	if b[0] != ProtocolVersion {
+		return nil, fmt.Errorf("netbarrier: protocol version mismatch: peer's %s speaks v%d, this binary speaks v%d — both ends must run the same protocol revision", FrameName(t), b[0], ProtocolVersion)
+	}
+	return b[1:], nil
 }
 
 // lengthPrefixed splits a uint16-length-prefixed field off b, enforcing

@@ -3,6 +3,7 @@ package netbarrier
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"io"
 	"math"
 	"strings"
@@ -13,10 +14,16 @@ import (
 // including edge cases (empty strings, negative ids, NaN floats).
 func sampleFrames() []Frame {
 	return []Frame{
-		{Type: TypeJoinReq, Name: "sor-sweep", P: 64, ID: -1},
-		{Type: TypeJoinReq, Name: "x", P: 1, ID: 0},
-		{Type: TypeJoinResp, ID: 7, P: 64, Degree: 4, Episode: 12},
-		{Type: TypeJoinResp, Err: "session is full"},
+		{Type: TypeJoinReq, Version: ProtocolVersion, Name: "sor-sweep", P: 64, ID: -1},
+		{Type: TypeJoinReq, Version: ProtocolVersion, Name: "x", P: 1, ID: 0},
+		{Type: TypeJoinResp, Version: ProtocolVersion, ID: 7, P: 64, Degree: 4, Episode: 12},
+		{Type: TypeJoinResp, Version: ProtocolVersion, Err: "session is full"},
+		{Type: TypeShardJoin, Version: ProtocolVersion, Name: "fleet", P: 4, ID: -1},
+		{Type: TypeShardJoin, Version: ProtocolVersion, Name: "s", P: 1, ID: 0},
+		{Type: TypeShardArrive, Episode: 17, P: 64, Spread: 1.5e-4, Sigma: 2.5e-4, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Type: TypeShardArrive, Episode: 1<<63 - 1, P: 1, Spread: math.NaN(), Sigma: math.Inf(1), Data: []byte{}},
+		{Type: TypeShardRelease, Episode: 17, Degree: 2, P: 4, Epoch: 3, Spread: 1.5e-4, Sigma: 2.5e-4, FleetP: 256, Data: []byte{0xca, 0xfe}},
+		{Type: TypeShardRelease, Episode: 0, Degree: 2, P: 1, FleetP: 1, Spread: math.Inf(-1), Sigma: math.NaN(), Data: []byte{}},
 		{Type: TypeArrive, Episode: 0},
 		{Type: TypeArrive, Episode: 1<<63 - 1},
 		{Type: TypeRelease, Episode: 999, Degree: 64, P: 128, Epoch: 7, Spread: 3.25e-4, Sigma: 2.5e-4},
@@ -34,7 +41,8 @@ func sampleFrames() []Frame {
 // framesEqual compares frames treating float fields by bit pattern (NaN ==
 // NaN on the wire) and nil/empty byte slices as equal.
 func framesEqual(a, b Frame) bool {
-	if a.Type != b.Type || a.Name != b.Name || a.P != b.P || a.ID != b.ID ||
+	if a.Type != b.Type || a.Version != b.Version || a.Name != b.Name ||
+		a.P != b.P || a.ID != b.ID || a.FleetP != b.FleetP ||
 		a.Degree != b.Degree || a.Episode != b.Episode || a.Epoch != b.Epoch ||
 		a.Err != b.Err {
 		return false
@@ -106,6 +114,15 @@ func TestDecodeFrameRejects(t *testing.T) {
 		"result short":                {TypeResult, 1, 2, 3},
 		"result truncated len":        append(append([]byte{TypeResult}, make([]byte, 40)...), 0, 9),
 		"result trailing":             append(mustEncodeBody(Frame{Type: TypeResult, Data: []byte{5}}), 0xff),
+		"shard-join no version":       {TypeShardJoin},
+		"shard-join truncated name":   {TypeShardJoin, ProtocolVersion, 0},
+		"shard-join missing id":       {TypeShardJoin, ProtocolVersion, 0, 1, 's', 0, 0},
+		"shard-arrive short":          {TypeShardArrive, 1, 2, 3},
+		"shard-arrive truncated len":  append(append([]byte{TypeShardArrive}, make([]byte, 28)...), 0, 9),
+		"shard-arrive trailing":       append(mustEncodeBody(Frame{Type: TypeShardArrive, Episode: 1, Data: []byte{5}}), 0xff),
+		"shard-release short":         {TypeShardRelease, 1, 2, 3},
+		"shard-release truncated len": append(append([]byte{TypeShardRelease}, make([]byte, 44)...), 0, 9),
+		"shard-release trailing":      append(mustEncodeBody(Frame{Type: TypeShardRelease, Data: []byte{5}}), 0xff),
 	}
 	for name, body := range cases {
 		if _, err := DecodeFrame(body); err == nil {
@@ -122,6 +139,44 @@ func mustEncodeBody(f Frame) []byte {
 		panic(err)
 	}
 	return buf[lenSize:]
+}
+
+// TestProtocolVersionMismatch pins the fail-fast contract for
+// mixed-revision deployments: a handshake frame carrying any revision
+// other than ProtocolVersion is rejected with an error naming both
+// revisions, never mis-decoded into a plausible-looking frame.
+func TestProtocolVersionMismatch(t *testing.T) {
+	for _, typ := range []byte{TypeJoinReq, TypeJoinResp, TypeShardJoin} {
+		var good Frame
+		switch typ {
+		case TypeJoinReq, TypeShardJoin:
+			good = Frame{Type: typ, Name: "s", P: 2, ID: -1}
+		case TypeJoinResp:
+			good = Frame{Type: typ, ID: 1, P: 2, Degree: 2, Episode: 3}
+		}
+		body := mustEncodeBody(good)
+		if body[1] != ProtocolVersion {
+			t.Fatalf("%s: version byte not at offset 1", FrameName(typ))
+		}
+		body[1] = ProtocolVersion + 1
+		_, err := DecodeFrame(body)
+		if err == nil {
+			t.Fatalf("%s: future-revision frame decoded", FrameName(typ))
+		}
+		msg := err.Error()
+		for _, want := range []string{"version mismatch",
+			fmt.Sprintf("v%d", ProtocolVersion+1), fmt.Sprintf("v%d", ProtocolVersion)} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s: mismatch error %q does not mention %q", FrameName(typ), msg, want)
+			}
+		}
+	}
+	// Episode frames carry no version byte: the handshake already
+	// established it, and the hot path should not pay for re-checking.
+	body := mustEncodeBody(Frame{Type: TypeArrive, Episode: 5})
+	if got, err := DecodeFrame(body); err != nil || got.Episode != 5 {
+		t.Fatalf("arrive decode = %+v, %v", got, err)
+	}
 }
 
 // TestDecodeFrameErrorsNameTypes pins the symbolic frame names in decoder
@@ -178,6 +233,9 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{TypeJoinReq, 0xff, 0xff})
 	f.Add([]byte{TypePoison, 0, 3, 2, 0, 1})
+	f.Add([]byte{TypeJoinReq, ProtocolVersion + 1, 0, 1, 'a', 0, 0, 0, 2, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{TypeShardJoin, ProtocolVersion, 0xff, 0xff})
+	f.Add([]byte{TypeShardArrive, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9})
 	f.Fuzz(func(t *testing.T, body []byte) {
 		fr, err := DecodeFrame(body)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,54 @@ import (
 // ErrServerClosed is the poison cause members receive when the server is
 // shut down under them.
 var ErrServerClosed = errors.New("netbarrier: server closed")
+
+// ShardOutcome is what an upstream's release delivers back to a leaf
+// session: the fleet-wide view of the episode the leaf forwarded.
+type ShardOutcome struct {
+	// Result is the globally folded collective payload (nil for plain
+	// sessions). The bytes are valid only while the done callback runs;
+	// the session consumes them into its release encoding before returning.
+	Result []byte
+	// FleetP is the fleet-wide participant count across every shard.
+	FleetP int
+	// Sigma is the fleet-wide σ estimate the root aggregated from the
+	// shards' reports, seconds. 0 means not yet measured; the leaf then
+	// falls back to its local estimate.
+	Sigma float64
+	// Err, when non-nil, is the poison cause: the root aborted the
+	// episode (another shard died, the root's watchdog fired, the root is
+	// shutting down). The leaf session must poison itself with it.
+	Err error
+}
+
+// Upstream is the inter-shard hook that turns a server into a leaf of a
+// hierarchical deployment: a session on a server with an Upstream does
+// not release an episode when its local combining tree completes — that
+// completion is one *aggregated arrival* of a fleet-wide episode.
+// The session forwards it upstream and releases its local clients only
+// when the upstream's release comes back, so the two-level hierarchy
+// composes the same episode protocol at both levels.
+//
+// All three methods are called at quiescent points of the session's
+// episode protocol, never concurrently for one session.
+// internal/shardbarrier provides the standard implementation (one
+// netbarrier.Client-like link per session to the root barrierd).
+type Upstream interface {
+	// ShardArrive forwards the session's combined local arrival: localP
+	// local participants, their measured spread and EWMA σ, and the
+	// locally folded collective contribution (nil for plain sessions;
+	// data is only valid during the call and must be consumed before
+	// returning). done must be called exactly once — from any goroutine —
+	// when the upstream releases or poisons the episode; the session
+	// completes (or poisons) itself in that callback.
+	ShardArrive(session string, episode uint64, localP int, spread, sigma float64, data []byte, done func(ShardOutcome))
+	// ShardClose tears down the session's upstream link. A nil cause is a
+	// graceful departure (the local session retired cleanly); non-nil
+	// delivers the local poison cause upstream so the rest of the fleet
+	// fails with the original error, not a bare disconnect. It must be
+	// idempotent and safe to call for sessions that never forwarded.
+	ShardClose(session string, cause error)
+}
 
 // Options configures a Server. The zero value serves plain static-degree
 // sessions with no watchdog.
@@ -70,6 +119,13 @@ type Options struct {
 	// leaving placement nothing to choose. Nil disables predictive
 	// placement.
 	Placement func() softbarrier.PlacementPolicy
+	// Upstream, when non-nil, makes this server a leaf shard of a
+	// hierarchical deployment: every session forwards one aggregated
+	// arrival per episode upstream and releases its local clients only on
+	// the upstream's release (see the Upstream interface).
+	// internal/shardbarrier wires this to a root barrierd over the wire
+	// protocol's shard frames.
+	Upstream Upstream
 	// Op arms every session with a collective reduction: arrivals may
 	// carry op.Width-byte contributions (ArriveData frames), releases
 	// carry the folded result (Result frames), and payload-less arrivals
@@ -246,6 +302,8 @@ type SessionStats struct {
 	Episode  uint64 // current episode index
 	Members  int    // live (joined, not departed) member connections
 	Pending  int    // elastic joiners awaiting the next boundary
+	Shard    bool   // members are aggregated leaf shards, not clients
+	FleetP   int    // shard sessions: fleet-wide participant count, as of the last release
 	Reconfig softbarrier.ReconfigStats
 	// Depths is the per-participant synchronization path length of the
 	// current core, when it exposes one (fixed-tree cores; dynamic cores
@@ -264,6 +322,24 @@ func (s *Server) SessionStats(name string) (SessionStats, bool) {
 		return SessionStats{}, false
 	}
 	return sess.stats(), true
+}
+
+// PoisonSession aborts the named session with the given cause: every
+// member receives the wire-encoded cause exactly as for any other poison.
+// It reports whether a live session by that name existed. The inter-shard
+// machinery uses it to fail a leaf's local cohort when the upstream link
+// dies outside an episode (no pending completion callback to deliver the
+// error through); it is also the operational kill switch for a stuck
+// cohort.
+func (s *Server) PoisonSession(name string, cause error) bool {
+	s.mu.Lock()
+	sess := s.sessions[name]
+	s.mu.Unlock()
+	if sess == nil {
+		return false
+	}
+	sess.poison(cause)
+	return true
 }
 
 // srvConn is the server side of one member connection. id is -1 until the
@@ -289,8 +365,15 @@ type srvConn struct {
 
 	id         atomic.Int64
 	nextArrive atomic.Uint64
+	shard      bool // joined via ShardJoin: an aggregated-arrival member (a leaf barrierd)
 	gone       bool // no longer a broadcast target
 	leftOK     bool // departed via Leave; disconnection is not a failure
+
+	// Shard members' last-reported aggregates, written by the reader
+	// goroutine on each ShardArrive and read by the releaser when it
+	// assembles the fleet-wide release (hence atomic).
+	lastLocalP atomic.Int64
+	lastSigma  atomic.Uint64 // float64 bits
 
 	rbuf  []byte       // reader-goroutine-owned frame body buffer
 	sendq chan sendJob // fan-out queue, drained by writeLoop
@@ -403,9 +486,20 @@ func (s *Server) handle(conn net.Conn) {
 
 	conn.SetReadDeadline(time.Now().Add(s.opt.joinTimeout()))
 	req, err := ReadFrameInto(br, &c.rbuf)
-	if err != nil || req.Type != TypeJoinReq {
+	if err != nil || (req.Type != TypeJoinReq && req.Type != TypeShardJoin) {
+		if err != nil && strings.Contains(err.Error(), "version mismatch") {
+			// The one decode failure worth answering: tell the
+			// mixed-revision peer why it is being refused before hanging up,
+			// so the operator sees "protocol version mismatch" on both ends
+			// instead of a silent disconnect on one.
+			if buf, encErr := AppendFrame(nil, Frame{Type: TypeJoinResp, Err: err.Error()}); encErr == nil {
+				c.send(buf, s.opt.writeTimeout())
+			}
+			s.opt.logf("refused %s: %v", conn.RemoteAddr(), err)
+		}
 		return // never joined; nothing to poison
 	}
+	c.shard = req.Type == TypeShardJoin
 	go c.writeLoop()
 	sess, resp, deferred := s.join(c, req)
 	if deferred {
@@ -432,16 +526,23 @@ func (s *Server) handle(conn net.Conn) {
 			sess.disconnect(c, err)
 			return
 		}
-		switch f.Type {
-		case TypeArrive:
+		switch {
+		case f.Type == TypeArrive && !c.shard:
 			sess.arrive(c, f.Episode)
-		case TypeArriveData:
+		case f.Type == TypeArriveData && !c.shard:
 			sess.arriveData(c, f.Episode, f.Data)
-		case TypeLeave:
+		case f.Type == TypeShardArrive && c.shard:
+			sess.shardArrive(c, f)
+		case f.Type == TypePoison && c.shard:
+			// A shard handing up its local poison cause: fail the whole
+			// fleet session with the original error, identity intact.
+			sess.poison(fmt.Errorf("netbarrier: shard %d poisoned: %w", c.id.Load(), softbarrier.DecodePoisonCause(f.Cause)))
+			return
+		case f.Type == TypeLeave:
 			sess.leave(c)
 			return
 		default:
-			sess.poison(fmt.Errorf("netbarrier: protocol violation: client %d sent frame %s", c.id.Load(), FrameName(f.Type)))
+			sess.poison(fmt.Errorf("netbarrier: protocol violation: member %d sent frame %s", c.id.Load(), FrameName(f.Type)))
 			return
 		}
 	}
@@ -473,7 +574,7 @@ func (s *Server) join(c *srvConn, req Frame) (*session, Frame, bool) {
 	}
 	sess := s.sessions[req.Name]
 	if sess == nil {
-		sess = newSession(s, req.Name, req.P)
+		sess = newSession(s, req.Name, req.P, c.shard)
 		s.sessions[req.Name] = sess
 	}
 	s.mu.Unlock()

@@ -2,6 +2,7 @@ package netbarrier
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -68,6 +69,16 @@ type session struct {
 	srv     *Server
 	elastic bool
 
+	// shard marks an inter-shard session: every member is a leaf barrierd
+	// forwarding one aggregated arrival per episode (TypeShardArrive)
+	// rather than a client. The kind is fixed by the session's first
+	// joiner; mixing shard and client members in one session is refused.
+	// Shard sessions release with TypeShardRelease, carrying the fleet-wide
+	// participant count and the σ aggregated across the shards' reports.
+	shard    bool
+	fleetEst rt.SigmaEstimator // EWMA over the P-weighted mean of shard σ reports
+	fleetP   atomic.Int64      // Σ live shards' local P, as of the last release
+
 	profile softbarrier.Profile  // template for the planner; P and Sigma are live
 	est     rt.SigmaEstimator    // EWMA of per-episode arrival spread
 	ctrl    *reconfig.Controller // epoch state: degree, membership, placement
@@ -110,11 +121,12 @@ type session struct {
 	retired bool
 }
 
-func newSession(srv *Server, name string, p int) *session {
+func newSession(srv *Server, name string, p int, shard bool) *session {
 	s := &session{
 		name:    name,
 		srv:     srv,
 		elastic: srv.opt.Elastic,
+		shard:   shard,
 		members: make([]*srvConn, p),
 		profile: softbarrier.Profile{
 			P:        p,
@@ -134,6 +146,7 @@ func newSession(srv *Server, name string, p int) *session {
 		s.place = f()
 	}
 	s.est.Init(rt.DefaultSigmaWeight)
+	s.fleetEst.Init(rt.DefaultSigmaWeight)
 	degree, dynamic := softbarrier.RecommendConfig(s.profile)
 	s.ctrl = reconfig.New(
 		reconfig.Config{
@@ -272,6 +285,8 @@ func (s *session) stats() SessionStats {
 		Episode:  s.episode.Load(),
 		Members:  live,
 		Pending:  pending,
+		Shard:    s.shard,
+		FleetP:   int(s.fleetP.Load()),
 		Reconfig: s.ctrl.Stats(),
 	}
 	// Fixed-tree cores expose their per-participant depths (the tree is
@@ -321,6 +336,64 @@ func (s *session) arriveData(c *srvConn, episode uint64, data []byte) {
 	s.core.Load().b.ArriveReduce(id, data)
 }
 
+// shardArrive applies one leaf shard's aggregated arrival: the leaf's
+// whole local cohort arrived, and the frame carries the shard's local
+// participant count, its measured σ, and — for a collective session — the
+// shard's locally folded contribution. The localP/σ report is recorded on
+// the connection for the fleet aggregate computed at release time. An
+// empty payload on a collective session contributes the op's identity (a
+// plain-barrier leaf inside a collective fleet), mirroring arrive.
+func (s *session) shardArrive(c *srvConn, f Frame) {
+	id, ok := s.checkArrival(c, f.Episode)
+	if !ok {
+		return
+	}
+	c.lastLocalP.Store(int64(f.P))
+	c.lastSigma.Store(math.Float64bits(f.Sigma))
+	if s.op == nil {
+		if len(f.Data) != 0 {
+			s.poison(fmt.Errorf("netbarrier: protocol violation: shard %d contributed %d bytes to a session with no collective op", id, len(f.Data)))
+			return
+		}
+		s.core.Load().b.Arrive(id)
+		return
+	}
+	if len(f.Data) == 0 {
+		s.core.Load().b.ArriveReduce(id, s.ident)
+		return
+	}
+	if len(f.Data) != s.op.Width {
+		s.poison(fmt.Errorf("netbarrier: protocol violation: shard %d contributed %d bytes, op %q wants %d", id, len(f.Data), s.op.Name, s.op.Width))
+		return
+	}
+	s.core.Load().b.ArriveReduce(id, f.Data)
+}
+
+// fleetStats folds the live shards' latest localP/σ reports into the
+// session's fleet aggregate: fleetP is the sum of local participant
+// counts, and the P-weighted mean of the shards' EWMA σ reports is folded
+// into the session's own fleet EWMA (reusing the runtime estimator, so a
+// shard re-planning locally moves the fleet estimate smoothly rather than
+// stepwise). Releaser-only, at the quiescent point.
+func (s *session) fleetStats() (fleetP int, fleetSigma float64) {
+	s.mu.Lock()
+	var wsum float64
+	for _, m := range s.members {
+		if m == nil || m.gone {
+			continue
+		}
+		p := int(m.lastLocalP.Load())
+		fleetP += p
+		wsum += float64(p) * math.Float64frombits(m.lastSigma.Load())
+	}
+	s.mu.Unlock()
+	if fleetP > 0 {
+		s.fleetEst.Observe(wsum / float64(fleetP))
+	}
+	s.fleetP.Store(int64(fleetP))
+	return fleetP, s.fleetEst.Sigma()
+}
+
 // checkArrival validates an arrival frame against the session's episode
 // counter and the member's arrival window, advancing the latter. It runs
 // on the member's reader goroutine; the frame's episode must be the
@@ -343,23 +416,58 @@ func (s *session) checkArrival(c *srvConn, episode uint64) (id int, ok bool) {
 
 // onEpisode is the Observer callback: it runs on the reader goroutine
 // whose arrival completed the root, at the episode's quiescent point. It
-// folds the measured spread into the σ estimate, applies a due epoch plan
-// (degree rebuild — and, in elastic mode, the membership boundary),
-// advances the episode, and fans the Release frame out to every member
-// socket.
+// folds the measured spread into the σ estimate and captures the episode's
+// collective result; then, on a standalone server, it completes the
+// episode immediately, while a leaf (Options.Upstream set) first forwards
+// one aggregated arrival — carrying the local fold — to the root and
+// completes only when the upstream outcome (the fleet-wide release, or the
+// fleet's poison cause) comes back. Episode serialization makes the
+// suspended completion safe: no local member can arrive at the next
+// episode until the release this completion will broadcast reaches it, so
+// at most one upstream round-trip per session is ever outstanding.
 func (s *session) onEpisode(st softbarrier.EpisodeStats) {
 	s.ctrl.Observe(st.Spread)
+	box := s.core.Load()
+	s.observePlacement(box, st.Episode)
+	// Capture the collective result at the quiescent point, while the
+	// completed core still owns it: a re-plan in the completion swaps the
+	// core out, and the next same-parity episode would overwrite the
+	// buffer.
+	result := s.capture(box, st.Episode)
+	if up := s.srv.opt.Upstream; up != nil && !s.dead.Load() {
+		up.ShardArrive(s.name, s.episode.Load(), s.ctrl.Current().P, st.Spread, s.ctrl.Sigma(), result,
+			func(out ShardOutcome) { s.completeEpisode(st, out) })
+		return
+	}
+	s.completeEpisode(st, ShardOutcome{Result: result})
+}
+
+// completeEpisode finishes an episode once its outcome is known — locally
+// immediate on a standalone server, or deferred to the upstream release on
+// a leaf. It applies a due epoch plan (degree rebuild — and, in elastic
+// mode, the membership boundary), advances the episode, and fans the
+// completing frame out to every member socket. An upstream error poisons
+// the session instead, delivering the fleet's cause to every local member.
+func (s *session) completeEpisode(st softbarrier.EpisodeStats, out ShardOutcome) {
+	s.mu.Lock()
+	retired := s.retired
+	s.mu.Unlock()
+	if retired {
+		// Every local member arrived and then left without awaiting, and
+		// the clean retirement ran while the episode was in flight
+		// upstream; nobody is left to release (or to poison).
+		return
+	}
+	if out.Err != nil {
+		s.poison(out.Err)
+		return
+	}
 	if s.elastic {
-		s.elasticBoundary(st)
+		s.elasticBoundary(st, out)
 		return
 	}
 	ep := s.episode.Load()
 	box := s.core.Load()
-	s.observePlacement(box, st.Episode)
-	// Capture the collective result at the quiescent point, while the
-	// completed core still owns it: a re-plan below swaps the core out,
-	// and the next same-parity episode would overwrite the buffer.
-	result := s.capture(box, st.Episode)
 	if !s.dead.Load() {
 		if plan, ok := s.ctrl.Evaluate(); ok {
 			s.core.Store(&coreBox{s.buildCore(plan)})
@@ -383,7 +491,28 @@ func (s *session) onEpisode(st softbarrier.EpisodeStats) {
 		return // poison raced in mid-episode; members already have the cause
 	}
 	cur := s.ctrl.Current()
-	s.broadcastRelease(ep, s.releaseFrame(ep, s.degree(), cur.P, cur.Epoch, st.Spread, s.ctrl.Sigma(), result), s.releaseTargets())
+	s.broadcastRelease(ep, s.releaseFrame(ep, s.degree(), cur.P, cur.Epoch, st.Spread, s.sigmaFor(out), out.Result), s.releaseTargets())
+}
+
+// sigmaFor selects the σ an episode's release advertises: the fleet-wide
+// estimate the root reported with this outcome when there is one, else the
+// session's own local estimate. Leaf clients thus plan against the σ of
+// the whole arrival population they actually synchronize with.
+func (s *session) sigmaFor(out ShardOutcome) float64 {
+	if out.Sigma > 0 {
+		return out.Sigma
+	}
+	return s.ctrl.Sigma()
+}
+
+// upstreamClose tells the leaf's upstream link that this session is done —
+// gracefully when cause is nil (the link leaves the root session), or with
+// the poison cause otherwise (the link forwards it, failing the fleet-wide
+// session so every other shard's members learn why).
+func (s *session) upstreamClose(cause error) {
+	if up := s.srv.opt.Upstream; up != nil {
+		up.ShardClose(s.name, cause)
+	}
 }
 
 // capture copies episode's folded result out of the completed core into
@@ -400,8 +529,20 @@ func (s *session) capture(box *coreBox, episode uint64) []byte {
 
 // releaseFrame builds the frame completing an episode: a Release for a
 // plain session, a Result carrying the folded contributions for a
-// collective one.
+// collective one, or — for an inter-shard session — a ShardRelease
+// carrying both the fleet-wide result and the fleet aggregate (ΣP and the
+// σ folded across the shards' reports), which each leaf fans back out to
+// its local clients.
 func (s *session) releaseFrame(ep uint64, degree, p int, epoch uint64, spread, sigma float64, result []byte) Frame {
+	if s.shard {
+		fleetP, fleetSigma := s.fleetStats()
+		return Frame{
+			Type: TypeShardRelease, Episode: ep,
+			Degree: degree, P: p, Epoch: epoch,
+			Spread: spread, Sigma: fleetSigma,
+			FleetP: fleetP, Data: result,
+		}
+	}
 	f := Frame{
 		Type: TypeRelease, Episode: ep,
 		Degree: degree, P: p, Epoch: epoch,
@@ -429,12 +570,10 @@ func (s *session) releaseFrame(ep uint64, degree, p int, epoch uint64, spread, s
 // compaction entirely: ids, members, and the controller's P are already
 // right, so the boundary degenerates to the fixed-membership episode path
 // (observe, re-plan if due, advance, fan out) and stays allocation-free.
-func (s *session) elasticBoundary(st softbarrier.EpisodeStats) {
+func (s *session) elasticBoundary(st softbarrier.EpisodeStats, out ShardOutcome) {
 	s.mu.Lock()
 	ep := s.episode.Load()
 	box := s.core.Load()
-	s.observePlacement(box, st.Episode)
-	result := s.capture(box, st.Episode) // before the boundary swaps the core
 
 	continuing := s.contBuf[:0]
 	for _, m := range s.members {
@@ -452,6 +591,7 @@ func (s *session) elasticBoundary(st softbarrier.EpisodeStats) {
 			s.episode.Store(ep + 1)
 			s.mu.Unlock()
 			box.b.Close()
+			s.upstreamClose(nil)
 			s.srv.retire(s)
 			return
 		}
@@ -514,7 +654,7 @@ func (s *session) elasticBoundary(st softbarrier.EpisodeStats) {
 		// delaying anyone else's JoinResp or release.
 		m.enqueue(sendJob{buf: buf, timeout: wt, sess: s})
 	}
-	s.broadcastRelease(ep, s.releaseFrame(ep, deg, cur.P, cur.Epoch, st.Spread, s.ctrl.Sigma(), result), continuing)
+	s.broadcastRelease(ep, s.releaseFrame(ep, deg, cur.P, cur.Epoch, st.Spread, s.sigmaFor(out), out.Result), continuing)
 }
 
 // onPoison is the WithPoisonNotify hook: whatever poisoned the tree —
@@ -575,6 +715,7 @@ func (s *session) onPoison(err error) {
 	}
 	wg.Wait()
 	s.core.Load().b.Close()
+	s.upstreamClose(err)
 	s.srv.retire(s)
 }
 
@@ -649,6 +790,15 @@ func (s *session) join(c *srvConn, p, want int) (id int, refusal string, deferre
 	if s.retired || s.dead.Load() {
 		return 0, "session is shutting down", false
 	}
+	if c.shard != s.shard {
+		// The session's participant kind is fixed by its first joiner:
+		// aggregated shard arrivals and per-client arrivals carry different
+		// frames and release shapes, so mixing them would corrupt both.
+		if s.shard {
+			return 0, "session is inter-shard; clients must join through a leaf", false
+		}
+		return 0, "session has client members; shards cannot join it", false
+	}
 	if s.elastic {
 		for i, m := range s.members {
 			if m == nil {
@@ -714,6 +864,7 @@ func (s *session) leave(c *srvConn) {
 		s.mu.Unlock()
 		if done {
 			s.core.Load().b.Close()
+			s.upstreamClose(nil)
 			s.srv.retire(s)
 		}
 		return
@@ -757,6 +908,7 @@ func (s *session) leave(c *srvConn) {
 	}
 	if done {
 		core.b.Close()
+		s.upstreamClose(nil)
 		s.srv.retire(s)
 	}
 }
@@ -790,5 +942,13 @@ func (s *session) disconnect(c *srvConn, err error) {
 	if wasGone || s.dead.Load() {
 		return
 	}
-	s.poison(fmt.Errorf("netbarrier: client %d disconnected mid-session: %w", c.id.Load(), err))
+	// Name shards as shards: a leaf process dying often reaches the root
+	// as a bare EOF (the leaf's graceful poison frame races its own
+	// process exit), and the cause fans out fleet-wide, so it must say
+	// which shard died — "client 0" would point at an innocent local id.
+	kind := "client"
+	if c.shard {
+		kind = "shard"
+	}
+	s.poison(fmt.Errorf("netbarrier: %s %d disconnected mid-session: %w", kind, c.id.Load(), err))
 }

@@ -1,0 +1,154 @@
+package shardbarrier
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"softbarrier/internal/netbarrier"
+)
+
+// FleetOptions configures StartFleet.
+type FleetOptions struct {
+	// Leaves is how many leaf shards to start. 0 selects 2.
+	Leaves int
+	// Span is how many leaves each session spans: 0 (or ≥ Leaves) spans
+	// the whole fleet — every leaf joins the root for every session, the
+	// all-shards-synchronize shape — while a smaller span places each
+	// session on Span ring-consecutive leaves (Ring.Span order assigns the
+	// shard ids), isolating unrelated sessions onto disjoint shard sets.
+	Span int
+	// Net configures every leaf's local server (op, watchdog, planner
+	// knobs). The root runs the same options minus Upstream.
+	Net netbarrier.Options
+	// RootNet, when non-nil, overrides the root server's options.
+	RootNet *netbarrier.Options
+	// DialTimeout/DialAttempts/DialBackoff tune the leaf→root links (see
+	// LeafOptions).
+	DialTimeout  time.Duration
+	DialAttempts int
+	DialBackoff  time.Duration
+}
+
+// Fleet is an in-process hierarchical deployment — one root barrierd and
+// N leaf shards on loopback listeners — for tests, benchmarks, and
+// single-host scale-out. Production fleets run the same wiring across
+// processes via `barrierd -role root` / `-role leaf`.
+type Fleet struct {
+	Root   *netbarrier.Server
+	Leaves []*Leaf
+
+	ring      *Ring
+	span      int
+	rootAddr  string
+	leafAddrs []string
+}
+
+// StartFleet launches a root and opt.Leaves leaf shards on ephemeral
+// loopback ports, fully wired: leaves know the root, and the fleet's ring
+// places sessions across the leaves. Callers route each client to
+// LeafAddr(session) (or any leaf, for whole-fleet spans) and must Close
+// the fleet when done.
+func StartFleet(opt FleetOptions) (*Fleet, error) {
+	n := opt.Leaves
+	if n <= 0 {
+		n = 2
+	}
+	span := opt.Span
+	if span <= 0 || span > n {
+		span = n
+	}
+	rootOpt := opt.Net
+	if opt.RootNet != nil {
+		rootOpt = *opt.RootNet
+	}
+	rootOpt.Upstream = nil
+	f := &Fleet{Root: netbarrier.NewServer(rootOpt), span: span}
+	rootLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	f.rootAddr = rootLn.Addr().String()
+	go f.Root.Serve(rootLn)
+
+	lns := make([]net.Listener, n)
+	f.leafAddrs = make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		lns[i] = ln
+		f.leafAddrs[i] = ln.Addr().String()
+	}
+	f.ring = NewRing(f.leafAddrs, 0)
+	for i := 0; i < n; i++ {
+		leaf := NewLeaf(LeafOptions{
+			Net:          opt.Net,
+			Root:         f.rootAddr,
+			Index:        i,
+			Shards:       span,
+			SessionSlot:  f.slotFor(i),
+			DialTimeout:  opt.DialTimeout,
+			DialAttempts: opt.DialAttempts,
+			DialBackoff:  opt.DialBackoff,
+		})
+		f.Leaves = append(f.Leaves, leaf)
+		go leaf.Serve(lns[i])
+	}
+	return f, nil
+}
+
+// slotFor builds leaf i's SessionSlot: for whole-fleet spans every leaf
+// participates with its own index; for partial spans the ring decides
+// which leaves host the session, and a participating leaf's shard id is
+// its rank in the ring's placement order.
+func (f *Fleet) slotFor(i int) func(string) (int, int) {
+	if f.span == len(f.leafAddrs) {
+		return nil // LeafOptions defaults: span = Shards, id = Index
+	}
+	return func(session string) (int, int) {
+		for rank, leaf := range f.ring.Span(session, f.span) {
+			if leaf == i {
+				return f.span, rank
+			}
+		}
+		return f.span, -1
+	}
+}
+
+// RootAddr returns the root's listen address.
+func (f *Fleet) RootAddr() string { return f.rootAddr }
+
+// LeafAddrs returns every leaf's listen address, in shard-index order.
+func (f *Fleet) LeafAddrs() []string { return append([]string(nil), f.leafAddrs...) }
+
+// LeafAddr returns the address a client of the session should dial: the
+// ring's owner for partial spans, and the session's first ring leaf —
+// any leaf works, this one just spreads load deterministically — for
+// whole-fleet spans.
+func (f *Fleet) LeafAddr(session string) string { return f.ring.Addr(session) }
+
+// Ring exposes the fleet's placement ring.
+func (f *Fleet) Ring() *Ring { return f.ring }
+
+// Close shuts the fleet down, leaves first (so their sessions poison
+// with leaf-side causes rather than root disconnects), then the root.
+func (f *Fleet) Close() error {
+	var first error
+	for _, leaf := range f.Leaves {
+		if err := leaf.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := f.Root.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// String describes the fleet topology.
+func (f *Fleet) String() string {
+	return fmt.Sprintf("fleet{root %s, %d leaves, span %d}", f.rootAddr, len(f.Leaves), f.span)
+}

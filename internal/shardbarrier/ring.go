@@ -1,0 +1,133 @@
+package shardbarrier
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the virtual-node count per leaf the fleet helpers use:
+// enough points that the largest leaf's share of the session keyspace
+// stays within a few percent of 1/n, cheap enough that ring construction
+// is microseconds.
+const DefaultVnodes = 128
+
+// Ring is a consistent-hash ring over the fleet's leaves, used to place
+// sessions: every client of a session — and the leaf slot assignment for
+// sessions that span a subset of the fleet — derives the same leaf
+// ordering from the session name alone, with no coordination. Adding or
+// removing a leaf moves only the sessions whose arc it owned (the classic
+// consistent-hashing property), so a fleet resize does not re-shuffle
+// every session.
+//
+// A Ring is immutable after NewRing and safe for concurrent use.
+type Ring struct {
+	leaves []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	leaf int // index into leaves
+}
+
+// NewRing builds a ring over the given leaves (identified by address or
+// any stable name), with vnodes virtual points per leaf; vnodes ≤ 0
+// selects DefaultVnodes. The leaf slice is copied.
+func NewRing(leaves []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{
+		leaves: append([]string(nil), leaves...),
+		points: make([]ringPoint, 0, len(leaves)*vnodes),
+	}
+	for i, leaf := range r.leaves {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(leaf + "#" + strconv.Itoa(v)), leaf: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on leaf index so the ring order is deterministic even
+		// under (astronomically unlikely) hash collisions.
+		return r.points[a].leaf < r.points[b].leaf
+	})
+	return r
+}
+
+// Leaves returns the names the ring was built over, in index order.
+func (r *Ring) Leaves() []string { return append([]string(nil), r.leaves...) }
+
+// Leaf returns the index of the leaf owning the session: the first point
+// at or clockwise of the session name's hash. It returns -1 for an empty
+// ring.
+func (r *Ring) Leaf(session string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	return r.points[r.search(session)].leaf
+}
+
+// Addr returns the name/address of the leaf owning the session, or "" for
+// an empty ring.
+func (r *Ring) Addr(session string) string {
+	i := r.Leaf(session)
+	if i < 0 {
+		return ""
+	}
+	return r.leaves[i]
+}
+
+// Span returns the first n distinct leaves clockwise of the session
+// name's hash — the shard set of a session that spans n of the fleet's
+// leaves, in placement order (a participating leaf's rank in this slice
+// is its shard id for the session). n is clamped to the leaf count.
+func (r *Ring) Span(session string, n int) []int {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.leaves) {
+		n = len(r.leaves)
+	}
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i, start := 0, r.search(session); i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.leaf] {
+			seen[p.leaf] = true
+			out = append(out, p.leaf)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or clockwise of the
+// session's hash (wrapping past the top of the hash space).
+func (r *Ring) search(session string) int {
+	h := ringHash(session)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// ringHash is FNV-64a — deterministic across processes and Go releases,
+// both ends of every wire must agree on placement — finished with the
+// splitmix64 mixer: FNV diffuses suffix changes poorly, so the vnode
+// points of one leaf ("addr#0", "addr#1", …) would otherwise land in
+// near-consecutive runs and the arcs would be badly unbalanced.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,485 @@
+package shardbarrier
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"softbarrier"
+	"softbarrier/internal/netbarrier"
+)
+
+// startFleet launches an in-process fleet torn down with the test.
+func startFleet(t testing.TB, opt FleetOptions) *Fleet {
+	t.Helper()
+	f, err := StartFleet(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// dialJoin connects a client to addr and joins, failing the test on error.
+func dialJoin(t testing.TB, addr, session string, p, id int) *netbarrier.Client {
+	t.Helper()
+	c, err := netbarrier.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.JoinAs(session, p, id); err != nil {
+		c.Close()
+		t.Fatalf("join %s: %v", session, err)
+	}
+	return c
+}
+
+// leafFor assigns client i of p to a leaf, contiguously: ids [0, p/n) on
+// leaf 0, the next block on leaf 1, and so on. Contiguous blocks plus
+// pinned shard indices are what make the hierarchical fold's grouping
+// deterministic.
+func leafFor(i, p, leaves int) int { return i * leaves / p }
+
+func f64bytes(v float64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	return b[:]
+}
+
+func f64of(b []byte) float64 { return math.Float64frombits(binary.BigEndian.Uint64(b)) }
+
+// contribution is client i's deterministic episode contribution. The
+// values are integer-valued float64s with sums far below 2^53, so float
+// addition over them is exact under any grouping — a hierarchical fold
+// (per-leaf partial sums folded at the root) must therefore be
+// bit-identical to the flat sequential fold, and any discrepancy is a
+// protocol bug, not rounding.
+func contribution(i int, ep uint64) float64 { return float64(i*1000 + int(ep%7) + 1) }
+
+func expectedSum(p int, ep uint64) float64 {
+	sum := 0.0
+	for i := 0; i < p; i++ {
+		sum += contribution(i, ep)
+	}
+	return sum
+}
+
+// TestRingPlacement checks the consistent-hash ring: determinism, span
+// distinctness, coverage, and the consistency property — removing one
+// leaf only moves the sessions that leaf owned.
+func TestRingPlacement(t *testing.T) {
+	leaves := []string{"leaf-a:1", "leaf-b:1", "leaf-c:1", "leaf-d:1"}
+	r := NewRing(leaves, 0)
+	r2 := NewRing(leaves, 0)
+
+	owned := make(map[int]int)
+	for i := 0; i < 400; i++ {
+		name := fmt.Sprintf("session-%d", i)
+		leaf := r.Leaf(name)
+		if leaf != r2.Leaf(name) {
+			t.Fatalf("ring placement of %q is not deterministic", name)
+		}
+		if leaf < 0 || leaf >= len(leaves) {
+			t.Fatalf("session %q placed on leaf %d", name, leaf)
+		}
+		owned[leaf]++
+		span := r.Span(name, 3)
+		if len(span) != 3 {
+			t.Fatalf("Span(%q, 3) = %v", name, span)
+		}
+		if span[0] != leaf {
+			t.Errorf("Span(%q)[0] = %d, Leaf = %d", name, span[0], leaf)
+		}
+		seen := map[int]bool{}
+		for _, l := range span {
+			if seen[l] {
+				t.Fatalf("Span(%q, 3) repeats a leaf: %v", name, span)
+			}
+			seen[l] = true
+		}
+	}
+	for i := range leaves {
+		if owned[i] == 0 {
+			t.Errorf("leaf %d owns no sessions out of 400", i)
+		}
+	}
+
+	// Consistency: dropping leaf-d moves only leaf-d's sessions.
+	shrunk := NewRing(leaves[:3], 0)
+	for i := 0; i < 400; i++ {
+		name := fmt.Sprintf("session-%d", i)
+		if was := r.Leaf(name); was != 3 && shrunk.Leaf(name) != was {
+			t.Fatalf("session %q moved from leaf %d to %d when an unrelated leaf left",
+				name, was, shrunk.Leaf(name))
+		}
+	}
+
+	if NewRing(nil, 0).Leaf("x") != -1 || NewRing(nil, 0).Addr("x") != "" {
+		t.Error("empty ring should place nothing")
+	}
+}
+
+// TestHierarchicalEpisodes runs a plain (no collective) session spanning
+// two leaves and checks that every client sees the same totally ordered
+// episode sequence — the root's release is what serializes the fleet.
+func TestHierarchicalEpisodes(t *testing.T) {
+	const leaves, p, episodes = 2, 8, 50
+	f := startFleet(t, FleetOptions{
+		Leaves: leaves,
+		Net:    netbarrier.Options{Watchdog: 10 * time.Second},
+	})
+	addrs := f.LeafAddrs()
+
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			local := p / leaves
+			c := dialJoin(t, addrs[leafFor(i, p, leaves)], "episodes", local, -1)
+			defer c.Leave()
+			for ep := 0; ep < episodes; ep++ {
+				r, err := c.Wait()
+				if err != nil {
+					errs[i] = fmt.Errorf("episode %d: %w", ep, err)
+					return
+				}
+				if r.Episode != uint64(ep) {
+					errs[i] = fmt.Errorf("episode %d released as %d", ep, r.Episode)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+
+	// The root hosted the fleet session as a shard-kind cohort.
+	if st, ok := f.Root.SessionStats("episodes"); ok {
+		if !st.Shard {
+			t.Error("root session is not shard-kind")
+		}
+	}
+}
+
+// TestHierarchicalAllReduceDifferential is the satellite differential: the
+// same cohort, same per-episode contributions, run once through a 2-leaf
+// hierarchy and once through a flat single server, must produce
+// bit-identical AllReduce results — which both must equal the sequential
+// ascending-id fold. sum-f64 is non-commutative in general; the
+// integer-valued contributions (see contribution) make every grouping
+// exact, so equality is required, not hoped for.
+func TestHierarchicalAllReduceDifferential(t *testing.T) {
+	const leaves, p, episodes = 2, 8, 30
+	op := softbarrier.OpSumFloat64()
+
+	run := func(dial func(i int) *netbarrier.Client) [][]byte {
+		results := make([][]byte, episodes) // client 0's view; all clients verify their own
+		var wg sync.WaitGroup
+		errs := make([]error, p)
+		for i := 0; i < p; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c := dial(i)
+				defer c.Leave()
+				for ep := uint64(0); ep < episodes; ep++ {
+					got, err := c.AllReduce(f64bytes(contribution(i, ep)))
+					if err != nil {
+						errs[i] = fmt.Errorf("episode %d: %w", ep, err)
+						return
+					}
+					if want := expectedSum(p, ep); f64of(got) != want {
+						errs[i] = fmt.Errorf("episode %d: folded %v, sequential fold %v", ep, f64of(got), want)
+						return
+					}
+					if i == 0 {
+						results[ep] = append([]byte(nil), got...)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("client %d: %v", i, err)
+			}
+		}
+		return results
+	}
+
+	f := startFleet(t, FleetOptions{
+		Leaves: leaves,
+		Net:    netbarrier.Options{Watchdog: 10 * time.Second, Op: &op},
+	})
+	addrs := f.LeafAddrs()
+	hier := run(func(i int) *netbarrier.Client {
+		return dialJoin(t, addrs[leafFor(i, p, leaves)], "diff", p/leaves, -1)
+	})
+
+	flatAddr, flatSrv := startFlatServer(t, netbarrier.Options{Watchdog: 10 * time.Second, Op: &op})
+	_ = flatSrv
+	flat := run(func(i int) *netbarrier.Client {
+		return dialJoin(t, flatAddr, "diff", p, -1)
+	})
+
+	for ep := 0; ep < episodes; ep++ {
+		if string(hier[ep]) != string(flat[ep]) {
+			t.Fatalf("episode %d: hierarchical fold % x != flat fold % x", ep, hier[ep], flat[ep])
+		}
+	}
+}
+
+// startFlatServer runs a standalone netbarrier server for differential
+// comparison.
+func startFlatServer(t testing.TB, opt netbarrier.Options) (string, *netbarrier.Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := netbarrier.NewServer(opt)
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+// TestLeafKillPoisonsEveryShard kills one leaf mid-episode — the other
+// leaf's aggregated arrival is already at the root — and requires the
+// poison cause to reach every client on every shard over the wire: the
+// dying leaf's clients get the local cause, and the surviving leaf's
+// clients get a cause naming the dead shard.
+func TestLeafKillPoisonsEveryShard(t *testing.T) {
+	const leaves, perLeaf = 2, 3
+	f := startFleet(t, FleetOptions{
+		Leaves: leaves,
+		Net:    netbarrier.Options{Watchdog: 30 * time.Second},
+	})
+	addrs := f.LeafAddrs()
+
+	var clients [leaves][]*netbarrier.Client
+	for l := 0; l < leaves; l++ {
+		for i := 0; i < perLeaf; i++ {
+			clients[l] = append(clients[l], dialJoin(t, addrs[l], "kill", perLeaf, -1))
+		}
+	}
+	defer func() {
+		for l := range clients {
+			for _, c := range clients[l] {
+				c.Close()
+			}
+		}
+	}()
+
+	// Warm-up episode: every leaf's root link is established.
+	var wg sync.WaitGroup
+	for l := range clients {
+		for _, c := range clients[l] {
+			wg.Add(1)
+			go func(c *netbarrier.Client) {
+				defer wg.Done()
+				if _, err := c.Wait(); err != nil {
+					t.Errorf("warmup: %v", err)
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("warmup episode failed; aborting")
+	}
+
+	// Mid-episode: leaf 1's whole cohort arrives (its aggregated arrival
+	// reaches the root); leaf 0's clients block in Await without arriving.
+	errs := make([][]error, leaves)
+	for l := range clients {
+		errs[l] = make([]error, perLeaf)
+		for i, c := range clients[l] {
+			wg.Add(1)
+			go func(l, i int, c *netbarrier.Client) {
+				defer wg.Done()
+				var err error
+				if l == 1 {
+					_, err = c.Wait()
+				} else {
+					_, err = c.Await()
+				}
+				errs[l][i] = err
+			}(l, i, c)
+		}
+	}
+	time.Sleep(100 * time.Millisecond) // let leaf 1's shard arrival reach the root
+	start := time.Now()
+	f.Leaves[0].Close()
+	wg.Wait()
+
+	for i, err := range errs[0] {
+		if err == nil || !strings.Contains(err.Error(), "server closed") {
+			t.Errorf("dying leaf's client %d: got %v, want the local close cause", i, err)
+		}
+	}
+	for i, err := range errs[1] {
+		if err == nil {
+			t.Fatalf("surviving leaf's client %d completed an episode the fleet never finished", i)
+		}
+		if !strings.Contains(err.Error(), "shard 0 poisoned") {
+			t.Errorf("surviving leaf's client %d: cause %v does not name the dead shard", i, err)
+		}
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cross-shard poison took %v", d)
+	}
+}
+
+// TestDeadRootPoisonsLeafSessions closes the root between episodes: the
+// leaves' link readers must convert the root's poison into local session
+// poisons promptly — clients get a wire-delivered cause, not a hang.
+func TestDeadRootPoisonsLeafSessions(t *testing.T) {
+	const leaves, perLeaf = 2, 2
+	f := startFleet(t, FleetOptions{
+		Leaves: leaves,
+		Net:    netbarrier.Options{Watchdog: 30 * time.Second},
+	})
+	addrs := f.LeafAddrs()
+
+	var clients []*netbarrier.Client
+	for l := 0; l < leaves; l++ {
+		for i := 0; i < perLeaf; i++ {
+			clients = append(clients, dialJoin(t, addrs[l], "deadroot", perLeaf, -1))
+		}
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(clients))
+	start := time.Now()
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *netbarrier.Client) {
+			defer wg.Done()
+			for ep := 0; ; ep++ {
+				if _, err := c.Wait(); err != nil {
+					errs[i] = err
+					return
+				}
+				if ep == 0 && i == 0 {
+					// After the first fleet episode the links are live;
+					// kill the root from one client's goroutine.
+					go f.Root.Close()
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "server closed") {
+			t.Errorf("client %d: got %v, want the root's close cause", i, err)
+		}
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("root death took %v to reach clients", d)
+	}
+}
+
+// TestRingSpanIsolation runs a span-1 fleet — sessions placed on single
+// leaves by the ring — and checks the acceptance property: killing one
+// leaf poisons exactly that leaf's sessions, while sessions on the other
+// leaf keep completing episodes.
+func TestRingSpanIsolation(t *testing.T) {
+	const leaves = 2
+	f := startFleet(t, FleetOptions{
+		Leaves: leaves,
+		Span:   1,
+		Net:    netbarrier.Options{Watchdog: 30 * time.Second},
+	})
+
+	// Probe the ring for one session owned by each leaf.
+	session := make([]string, leaves)
+	for i := 0; len(session[0]) == 0 || len(session[1]) == 0; i++ {
+		name := fmt.Sprintf("iso-%d", i)
+		if l := f.Ring().Leaf(name); session[l] == "" {
+			session[l] = name
+		}
+	}
+
+	cs := make([]*netbarrier.Client, leaves)
+	for l := 0; l < leaves; l++ {
+		cs[l] = dialJoin(t, f.LeafAddr(session[l]), session[l], 1, -1)
+		defer cs[l].Close()
+		if _, err := cs[l].Wait(); err != nil { // warm-up: link established
+			t.Fatalf("leaf %d warmup: %v", l, err)
+		}
+	}
+
+	f.Leaves[0].Close()
+	if _, err := cs[0].Wait(); err == nil || !strings.Contains(err.Error(), "server closed") {
+		t.Errorf("dead leaf's session: got %v, want its close cause", err)
+	}
+	for ep := 0; ep < 5; ep++ {
+		if _, err := cs[1].Wait(); err != nil {
+			t.Fatalf("surviving leaf's session poisoned by an unrelated leaf death: %v", err)
+		}
+	}
+}
+
+// TestMisroutedClientRefused dials the leaf the ring did NOT pick for a
+// span-1 session: the first episode must fail with a placement error
+// instead of silently joining the wrong shard slot.
+func TestMisroutedClientRefused(t *testing.T) {
+	const leaves = 2
+	f := startFleet(t, FleetOptions{
+		Leaves: leaves,
+		Span:   1,
+		Net:    netbarrier.Options{Watchdog: 30 * time.Second},
+	})
+	name := "misroute-probe"
+	wrong := f.LeafAddrs()[1-f.Ring().Leaf(name)]
+	c := dialJoin(t, wrong, name, 1, -1)
+	defer c.Close()
+	if _, err := c.Wait(); err == nil || !strings.Contains(err.Error(), "not placed on this leaf") {
+		t.Fatalf("misrouted client: got %v, want a placement refusal", err)
+	}
+}
+
+// TestVersionMismatchRefusedByRoot sends the root a ShardJoin whose
+// version byte is from the future and requires the refusal to say so —
+// the satellite's fail-fast contract for mixed-revision fleets, checked
+// end-to-end over a real socket.
+func TestVersionMismatchRefusedByRoot(t *testing.T) {
+	addr, _ := startFlatServer(t, netbarrier.Options{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf, err := netbarrier.AppendFrame(nil, netbarrier.Frame{Type: netbarrier.TypeShardJoin, Name: "v", P: 2, ID: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[5]++ // the version byte, right after the length prefix and type
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := netbarrier.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("no refusal frame: %v", err)
+	}
+	if resp.Type != netbarrier.TypeJoinResp || !strings.Contains(resp.Err, "version mismatch") {
+		t.Fatalf("got %s %q, want a version-mismatch refusal", netbarrier.FrameName(resp.Type), resp.Err)
+	}
+}
