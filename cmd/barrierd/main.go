@@ -10,6 +10,14 @@
 //	         [-collective OP] [-placement POLICY]
 //	         [-role standalone|root|leaf] [-root ADDR]
 //	         [-shards N] [-shard-id I]
+//	         [-keepalive 15s] [-dial-timeout 5s]
+//	         [-dial-attempts 3] [-dial-backoff 100ms]
+//
+// The last four tune the wire transport: -keepalive is the TCP
+// keepalive probe period armed on every accepted and dialed connection
+// (0 keeps the 15s default, negative disables probing), and the -dial-*
+// trio bounds each leaf→root connection attempt and the doubling
+// backoff-retry loop around it during fleet bringup.
 //
 // With -elastic, session membership may change between episodes: joins
 // against a full session are parked and admitted at the next episode
@@ -61,7 +69,6 @@ import (
 	"errors"
 	"flag"
 	"log"
-	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -86,7 +93,7 @@ func main() {
 	}
 	opt.Logf = log.Printf
 
-	ln, err := net.Listen("tcp", nf.Listen)
+	ln, err := nf.Transport().Listen(nf.Listen)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,10 +105,13 @@ func main() {
 	switch nf.Role {
 	case "leaf":
 		leaf := shardbarrier.NewLeaf(shardbarrier.LeafOptions{
-			Net:    opt,
-			Root:   nf.Root,
-			Index:  nf.ShardID,
-			Shards: nf.Shards,
+			Net:          opt,
+			Root:         nf.Root,
+			Index:        nf.ShardID,
+			Shards:       nf.Shards,
+			DialTimeout:  nf.DialTimeout,
+			DialAttempts: nf.DialAttempts,
+			DialBackoff:  nf.DialBackoff,
 		})
 		serve = func() error { return leaf.Serve(ln) }
 		closer = leaf

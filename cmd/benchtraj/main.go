@@ -1,8 +1,10 @@
 // Command benchtraj records the repo's performance trajectory: it runs
-// the hot-path benchmark suite (in-process barrier episodes, loopback
-// netbarrier at 2/8/64/512 clients, netbarrier AllReduce at 8/64, the
-// placement-policy simulation with its simsync-ns/op quality metric, and
-// the hierarchical fleet at 2/4 leaves with 64/256 clients)
+// the hot-path benchmark suite (in-process barrier episodes, netbarrier
+// at 2/8/64/512 clients over both loopback TCP and the in-process memnet
+// transport — their delta is the kernel socket cost per episode —
+// netbarrier AllReduce at 8/64 on both transports, the placement-policy
+// simulation with its simsync-ns/op quality metric, and the hierarchical
+// fleet at 2/4 leaves with 64/256 clients)
 // via `go test -bench` and writes the parsed results as BENCH_<n>.json,
 // one file per PR. Future PRs regenerate with the next -n and diff against
 // the committed history, so perf claims land as measured before/afters

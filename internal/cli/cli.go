@@ -17,6 +17,7 @@ import (
 	"softbarrier/internal/netbarrier"
 	"softbarrier/internal/sweep"
 	"softbarrier/internal/topology"
+	"softbarrier/internal/wire"
 )
 
 // EngineFlags carries the shared parallel-sweep configuration.
@@ -182,6 +183,21 @@ type NetFlags struct {
 	ShardID int
 	// Shards is how many leaf shards join the root for each session.
 	Shards int
+	// KeepAlive is the TCP keepalive probe period armed on every
+	// connection (listener and leaf→root links alike): 0 selects
+	// wire.DefaultKeepAlive (15s), negative disables probing. A silently
+	// vanished peer — powered off, cable pulled, NAT state dropped — is
+	// detected within roughly this period even between episodes, when
+	// neither side is writing.
+	KeepAlive time.Duration
+	// DialTimeout bounds each leaf→root connection attempt; 0 selects 5s.
+	DialTimeout time.Duration
+	// DialAttempts is how many times a failed root dial is retried; 0
+	// selects 3.
+	DialAttempts int
+	// DialBackoff is the sleep after the first failed root dial, doubling
+	// per subsequent failure; 0 selects 100ms.
+	DialBackoff time.Duration
 }
 
 // AddNetFlags registers the barrierd service flags on the default FlagSet.
@@ -202,7 +218,20 @@ func AddNetFlags() *NetFlags {
 	flag.StringVar(&f.Root, "root", "", "root barrierd address (required with -role leaf)")
 	flag.IntVar(&f.ShardID, "shard-id", 0, "this leaf's shard index in [0, -shards) (-role leaf)")
 	flag.IntVar(&f.Shards, "shards", 1, "leaf shards joining the root per session (-role leaf)")
+	flag.DurationVar(&f.KeepAlive, "keepalive", 0, "TCP keepalive probe period (0 = 15s default, negative disables)")
+	flag.DurationVar(&f.DialTimeout, "dial-timeout", 0, "bound on each leaf→root connection attempt (0 = 5s)")
+	flag.IntVar(&f.DialAttempts, "dial-attempts", 0, "retries for a failed root dial (0 = 3)")
+	flag.DurationVar(&f.DialBackoff, "dial-backoff", 0, "sleep after the first failed root dial, doubling per failure (0 = 100ms)")
 	return f
+}
+
+// Transport builds the TCP transport the flags describe: every listener
+// and leaf→root link the daemon opens shares the configured keepalive.
+// The hard-coded 15s probe period and dial parameters that used to live
+// as literals in the client and leaf dial paths are all reachable from
+// here.
+func (f *NetFlags) Transport() *wire.TCP {
+	return &wire.TCP{KeepAlive: f.KeepAlive}
 }
 
 // ValidateRole checks the hierarchical-deployment flag combination.
@@ -253,6 +282,7 @@ func (f *NetFlags) Options() (netbarrier.Options, error) {
 		Elastic:      f.Elastic,
 		Tc:           f.Tc,
 		InitialSigma: f.Sigma,
+		Transport:    f.Transport(),
 	}
 	if f.Collective != "" {
 		op, ok := softbarrier.OpByName(f.Collective)

@@ -23,7 +23,7 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	// mid-measurement) and the default every-episode replan cadence, so the
 	// controller's Evaluate → Recommender → analytic-model path is inside
 	// the measurement too.
-	addr, _ := startServer(t, Options{})
+	addr, _ := startTCPServer(t, Options{})
 	const p = 2
 	a := dialJoin(t, addr, "alloc", p, 0)
 	defer a.Close()
@@ -73,7 +73,7 @@ func TestCollectiveSteadyStateAllocs(t *testing.T) {
 	if !ok {
 		t.Fatal("sum-u64 op not registered")
 	}
-	addr, _ := startServer(t, Options{Op: opPtr(op)})
+	addr, _ := startTCPServer(t, Options{Op: opPtr(op)})
 	const p = 2
 	a := dialJoin(t, addr, "allocred", p, 0)
 	defer a.Close()
@@ -115,7 +115,7 @@ func TestWatchdogSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector instrumentation allocates; alloc gate runs in the non-race matrix")
 	}
-	addr, _ := startServer(t, Options{Watchdog: 30 * time.Second})
+	addr, _ := startTCPServer(t, Options{Watchdog: 30 * time.Second})
 	const p = 2
 	a := dialJoin(t, addr, "allocwd", p, 0)
 	defer a.Close()

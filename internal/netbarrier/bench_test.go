@@ -7,19 +7,18 @@ import (
 	"time"
 )
 
-// BenchmarkNetBarrier measures full networked episodes over loopback TCP:
-// every client sends Arrive and blocks for its Release frame, so ns/op is
-// the wall-clock cost of one complete episode at each cohort size —
-// the number to put next to the in-process waiter-policy benchmarks when
-// deciding whether a workload can afford a network hop per episode. The
-// 512-client point probes the fan-out's scaling edge (hundreds of
-// sockets sharing one releaser). allocs/op is part of the trajectory:
-// the steady-state frame path is supposed to stay at zero.
-func BenchmarkNetBarrier(b *testing.B) {
+// benchEpisodes drives full networked episodes — every client sends
+// Arrive and blocks for its Release frame — against a server started by
+// start, so ns/op is the wall-clock cost of one complete episode at each
+// cohort size. The TCP and memnet variants below run the identical body;
+// their delta is the kernel socket cost (syscalls, loopback stack,
+// ephemeral ports), since the protocol path — frames, sessions, fan-out —
+// is byte-for-byte the same.
+func benchEpisodes(b *testing.B, start func(testing.TB, Options) (string, *Server)) {
 	for _, p := range []int{2, 8, 64, 512} {
 		b.Run(fmt.Sprintf("%dclients", p), func(b *testing.B) {
 			b.ReportAllocs()
-			addr, _ := startServer(b, Options{Watchdog: 30 * time.Second})
+			addr, _ := start(b, Options{Watchdog: 30 * time.Second})
 			clients := make([]*Client, p)
 			for i := range clients {
 				clients[i] = dialJoin(b, addr, "bench", p, i)
@@ -55,3 +54,17 @@ func BenchmarkNetBarrier(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkNetBarrier measures episodes over loopback TCP — the
+// production transport. The 512-client point probes the fan-out's
+// scaling edge (hundreds of sockets sharing one releaser). allocs/op is
+// part of the trajectory: the steady-state frame path is supposed to
+// stay at zero.
+func BenchmarkNetBarrier(b *testing.B) { benchEpisodes(b, startTCPServer) }
+
+// BenchmarkNetBarrierMemNet is the same suite over the in-process memnet
+// transport. Read it against BenchmarkNetBarrier: memnet's ns/op is the
+// protocol floor (framing, session machinery, goroutine scheduling), and
+// TCP minus memnet is what the kernel's loopback stack charges per
+// episode.
+func BenchmarkNetBarrierMemNet(b *testing.B) { benchEpisodes(b, startServer) }

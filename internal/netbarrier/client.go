@@ -1,7 +1,6 @@
 package netbarrier
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -9,6 +8,7 @@ import (
 	"time"
 
 	"softbarrier"
+	"softbarrier/internal/wire"
 )
 
 // Release is what a completed episode looks like from a client: the
@@ -41,11 +41,7 @@ type Release struct {
 // wire with its identity intact — errors.As recovers a
 // *softbarrier.StallError, errors.Is matches context.Canceled and friends.
 type Client struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	rbuf []byte // reusable frame-body buffer (single-goroutine client)
-	wbuf []byte // reusable frame-encode scratch
+	fc *wire.FrameConn
 
 	joined  bool
 	left    bool
@@ -58,54 +54,21 @@ type Client struct {
 	err     error
 }
 
-// DialConn establishes the raw transport a barrierd peer runs over: TCP
-// with Nagle disabled (arrive/release frames are latency-bound), OS
-// keepalive armed (a peer that silently vanishes — powered off, cable
-// pulled, NAT state dropped — is detected even between episodes, when
-// neither side is writing), and the whole connection attempt bounded by
-// timeout (0 = no bound). It is the dial path shared by Client and the
-// inter-shard leaf→root links.
+// DialConn establishes the raw transport a barrierd peer runs over, using
+// the default TCP transport: Nagle disabled (arrive/release frames are
+// latency-bound), OS keepalive armed, and the whole connection attempt
+// bounded by timeout (0 = no bound). Peers that need different keepalive
+// or dial behavior configure a wire.TCP (or any other wire.Dialer) and
+// dial through it instead.
 func DialConn(addr string, timeout time.Duration) (net.Conn, error) {
-	d := net.Dialer{Timeout: timeout, KeepAlive: 15 * time.Second}
-	conn, err := d.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
-	return conn, nil
+	return wire.DefaultTCP.Dial(addr, timeout)
 }
 
-// RedialConn is DialConn with a bounded reconnect loop: up to attempts
-// tries, sleeping backoff after the first failure and doubling it after
-// each subsequent one (capped at 30× the initial backoff). It returns the
-// first successful connection or the last dial error. The inter-shard
-// leaf→root link uses it so a root that is still starting up — the common
-// fleet-bringup race — is retried instead of failing the first session,
-// while a root that is genuinely gone still fails within a bound the
-// caller chose, and the leaf can poison its sessions with that cause
-// rather than hang.
+// RedialConn is DialConn with the bounded reconnect loop of wire.Redial:
+// up to attempts tries, sleeping backoff after the first failure and
+// doubling it after each subsequent one.
 func RedialConn(addr string, timeout time.Duration, attempts int, backoff time.Duration) (net.Conn, error) {
-	if attempts < 1 {
-		attempts = 1
-	}
-	var lastErr error
-	sleep := backoff
-	for try := 0; try < attempts; try++ {
-		if try > 0 && sleep > 0 {
-			time.Sleep(sleep)
-			if sleep < 30*backoff {
-				sleep *= 2
-			}
-		}
-		conn, err := DialConn(addr, timeout)
-		if err == nil {
-			return conn, nil
-		}
-		lastErr = err
-	}
-	return nil, fmt.Errorf("netbarrier: dialing %s failed after %d attempts: %w", addr, attempts, lastErr)
+	return wire.Redial(wire.DefaultTCP, addr, timeout, attempts, backoff)
 }
 
 // Dial connects to a barrierd server with no connect bound. Join must be
@@ -114,18 +77,25 @@ func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0) }
 
 // DialTimeout is Dial with the connection attempt bounded by timeout.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := DialConn(addr, timeout)
+	return DialVia(wire.DefaultTCP, addr, timeout)
+}
+
+// DialVia dials through an explicit transport — a wire.TCP with custom
+// keepalive, an in-process memnet, a chaos wrapper — and wraps the
+// connection as a Client. Join must be called next.
+func DialVia(d wire.Dialer, addr string, timeout time.Duration) (*Client, error) {
+	conn, err := d.Dial(addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	return NewClient(conn), nil
 }
 
-// NewClient wraps an established connection (from DialConn/RedialConn, or
+// NewClient wraps an established connection (from a wire.Dialer, or
 // anything else that speaks the wire protocol) as a Client. Join or
 // ShardJoin must be called next.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	return &Client{fc: wire.NewFrameConn(conn)}
 }
 
 // Join enters the named session as one of p participants, letting the
@@ -153,10 +123,10 @@ func (c *Client) join(typ byte, session string, p, id int) error {
 	if c.joined {
 		return c.fail(errors.New("netbarrier: already joined"))
 	}
-	if err := c.write(Frame{Type: typ, Name: session, P: p, ID: id}); err != nil {
+	if err := c.fc.WriteFrame(Frame{Type: typ, Name: session, P: p, ID: id}); err != nil {
 		return c.fail(err)
 	}
-	resp, err := ReadFrameInto(c.br, &c.rbuf)
+	resp, err := c.fc.ReadFrame()
 	if err != nil {
 		return c.fail(fmt.Errorf("netbarrier: join failed: %w", err))
 	}
@@ -182,6 +152,11 @@ func (c *Client) ID() int { return c.id }
 // and leave.
 func (c *Client) Participants() int { return c.p }
 
+// Episode returns the episode index the next Arrive will announce: the
+// join's episode, advancing by one per release. Ledger-keeping callers
+// (the acceptance suites) read it to key contributions by episode.
+func (c *Client) Episode() uint64 { return c.episode }
+
 // Epoch returns the session's configuration epoch as of the last release.
 func (c *Client) Epoch() uint64 { return c.epoch }
 
@@ -195,6 +170,10 @@ func (c *Client) Sigma() float64 { return c.sigma }
 // Err returns the sticky error, or nil while the client is healthy.
 func (c *Client) Err() error { return c.err }
 
+// LocalAddr returns the local address of the client's connection — the
+// address the server sees as the remote end.
+func (c *Client) LocalAddr() net.Addr { return c.fc.Conn().LocalAddr() }
+
 // Arrive announces arrival at the current episode without waiting for its
 // completion — the fuzzy-barrier arrival half.
 func (c *Client) Arrive() error {
@@ -204,7 +183,7 @@ func (c *Client) Arrive() error {
 	if !c.joined {
 		return c.fail(errors.New("netbarrier: arrive before join"))
 	}
-	if err := c.write(Frame{Type: TypeArrive, Episode: c.episode}); err != nil {
+	if err := c.fc.WriteFrame(Frame{Type: TypeArrive, Episode: c.episode}); err != nil {
 		return c.fail(err)
 	}
 	return nil
@@ -222,7 +201,7 @@ func (c *Client) ArriveReduce(in []byte) error {
 	if !c.joined {
 		return c.fail(errors.New("netbarrier: arrive before join"))
 	}
-	if err := c.write(Frame{Type: TypeArriveData, Episode: c.episode, Data: in}); err != nil {
+	if err := c.fc.WriteFrame(Frame{Type: TypeArriveData, Episode: c.episode, Data: in}); err != nil {
 		return c.fail(err)
 	}
 	return nil
@@ -241,7 +220,7 @@ func (c *Client) ShardArrive(localP int, spread, sigma float64, data []byte) err
 	if !c.joined {
 		return c.fail(errors.New("netbarrier: arrive before join"))
 	}
-	if err := c.write(Frame{Type: TypeShardArrive, Episode: c.episode, P: localP, Spread: spread, Sigma: sigma, Data: data}); err != nil {
+	if err := c.fc.WriteFrame(Frame{Type: TypeShardArrive, Episode: c.episode, P: localP, Spread: spread, Sigma: sigma, Data: data}); err != nil {
 		return c.fail(err)
 	}
 	return nil
@@ -262,7 +241,7 @@ func (c *Client) Poison(err error) error {
 	if !c.joined {
 		return c.fail(errors.New("netbarrier: poison before join"))
 	}
-	if werr := c.write(Frame{Type: TypePoison, Cause: softbarrier.EncodePoisonCause(nil, err)}); werr != nil {
+	if werr := c.fc.WriteFrame(Frame{Type: TypePoison, Cause: softbarrier.EncodePoisonCause(nil, err)}); werr != nil {
 		return c.fail(werr)
 	}
 	c.fail(err)
@@ -293,7 +272,7 @@ func (c *Client) Await() (Release, error) {
 	if c.err != nil {
 		return Release{}, c.err
 	}
-	f, err := ReadFrameInto(c.br, &c.rbuf)
+	f, err := c.fc.ReadFrame()
 	if err != nil {
 		return Release{}, c.fail(fmt.Errorf("netbarrier: connection failed awaiting release: %w", err))
 	}
@@ -346,7 +325,7 @@ func (c *Client) AwaitCtx(ctx context.Context) (Release, error) {
 		return Release{}, c.fail(err)
 	}
 	stop := context.AfterFunc(ctx, func() {
-		c.conn.SetReadDeadline(time.Unix(0, 1)) // unblock the pending read
+		c.fc.SetReadDeadline(time.Unix(0, 1)) // unblock the pending read
 	})
 	r, err := c.Await()
 	if !stop() {
@@ -373,31 +352,17 @@ func (c *Client) WaitCtx(ctx context.Context) (Release, error) {
 func (c *Client) Leave() error {
 	if c.err == nil && c.joined && !c.left {
 		c.left = true
-		if err := c.write(Frame{Type: TypeLeave}); err != nil {
+		if err := c.fc.WriteFrame(Frame{Type: TypeLeave}); err != nil {
 			c.fail(err)
 		}
 	}
-	return c.conn.Close()
+	return c.fc.Close()
 }
 
 // Close abandons the connection without leaving. If the session is still
 // live, the server will poison it — every other participant gets a
 // "disconnected" cause instead of a hang. Use Leave for clean shutdown.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// write encodes one frame into the client's reusable scratch and sends it
-// with a single flush — zero allocations on the steady-state arrive path.
-func (c *Client) write(f Frame) error {
-	buf, err := AppendFrame(c.wbuf[:0], f)
-	if err != nil {
-		return err
-	}
-	c.wbuf = buf
-	if _, err := c.bw.Write(buf); err != nil {
-		return err
-	}
-	return c.bw.Flush()
-}
+func (c *Client) Close() error { return c.fc.Close() }
 
 // fail records the sticky error.
 func (c *Client) fail(err error) error {

@@ -317,16 +317,17 @@ func TestAcceptanceElasticAllReduce(t *testing.T) {
 		len(results), st.P, st.Reconfig.Rebuilds)
 }
 
-// BenchmarkNetAllReduce measures full collective episodes over loopback
-// TCP: every client contributes 8 bytes and blocks for the folded result,
-// so ns/op is one complete AllReduce at each cohort size — put it next to
-// BenchmarkNetBarrier to read the payload's marginal cost.
-func BenchmarkNetAllReduce(b *testing.B) {
+// benchAllReduce measures full collective episodes — every client
+// contributes 8 bytes and blocks for the folded result — against a
+// server started by start, so ns/op is one complete AllReduce at each
+// cohort size; put it next to the plain-barrier benchmarks to read the
+// payload's marginal cost.
+func benchAllReduce(b *testing.B, start func(testing.TB, Options) (string, *Server)) {
 	op, _ := softbarrier.OpByName("sum-u64")
 	for _, p := range []int{8, 64} {
 		b.Run(fmt.Sprintf("%dclients", p), func(b *testing.B) {
 			b.ReportAllocs()
-			addr, _ := startServer(b, Options{Watchdog: 30 * time.Second, Op: opPtr(op)})
+			addr, _ := start(b, Options{Watchdog: 30 * time.Second, Op: opPtr(op)})
 			clients := make([]*Client, p)
 			for i := range clients {
 				clients[i] = dialJoin(b, addr, "bench-allreduce", p, i)
@@ -364,3 +365,11 @@ func BenchmarkNetAllReduce(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkNetAllReduce runs the collective suite over loopback TCP, the
+// production transport.
+func BenchmarkNetAllReduce(b *testing.B) { benchAllReduce(b, startTCPServer) }
+
+// BenchmarkNetAllReduceMemNet runs it over the in-process memnet; the
+// TCP-minus-memnet delta is the kernel's share of a collective episode.
+func BenchmarkNetAllReduceMemNet(b *testing.B) { benchAllReduce(b, startServer) }

@@ -164,7 +164,7 @@ func TestElasticLateJoinExpands(t *testing.T) {
 	}
 	done := make(chan joined, 1)
 	go func() {
-		c, err := Dial(addr)
+		c, err := testDial(addr)
 		if err == nil {
 			err = c.Join(session, 2) // participant count is advisory in elastic sessions
 		}

@@ -5,20 +5,40 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"net"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"softbarrier"
+	"softbarrier/internal/wire"
+	"softbarrier/internal/wire/memnet"
 )
 
-// startServer runs a server on an ephemeral loopback port and returns its
-// address. The server is torn down with the test.
+// testNet is the in-process memnet the protocol-logic tests run on: no
+// kernel sockets, no ephemeral-port collisions, a fraction of the
+// wall-clock. Its addresses look like "mem:<port>", which is how testDial
+// routes them back through it; the per-suite TCP smokes and the
+// zero-alloc gates use startTCPServer and real loopback sockets.
+var testNet = memnet.New()
+
+// startServer runs a server on the in-process test network and returns
+// its address. The server is torn down with the test.
 func startServer(t testing.TB, opt Options) (addr string, srv *Server) {
 	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	return startServerOn(t, testNet, "mem:0", opt)
+}
+
+// startTCPServer runs a server on an ephemeral loopback TCP port: the
+// production transport, for the per-suite smokes and the alloc gates.
+func startTCPServer(t testing.TB, opt Options) (addr string, srv *Server) {
+	t.Helper()
+	return startServerOn(t, wire.DefaultTCP, "127.0.0.1:0", opt)
+}
+
+func startServerOn(t testing.TB, tr wire.Transport, bind string, opt Options) (addr string, srv *Server) {
+	t.Helper()
+	ln, err := tr.Listen(bind)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,10 +55,19 @@ func startServer(t testing.TB, opt Options) (addr string, srv *Server) {
 	return ln.Addr().String(), srv
 }
 
+// testDial routes an address to the transport that owns it: testNet for
+// memnet addresses, TCP otherwise.
+func testDial(addr string) (*Client, error) {
+	if strings.HasPrefix(addr, "mem:") {
+		return DialVia(testNet, addr, 5*time.Second)
+	}
+	return DialTimeout(addr, 5*time.Second)
+}
+
 // dialJoin connects and joins, failing the test on any error.
 func dialJoin(t testing.TB, addr, session string, p, id int) *Client {
 	t.Helper()
-	c, err := Dial(addr)
+	c, err := testDial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +164,7 @@ func TestJoinRefusals(t *testing.T) {
 		{"empty name", "", 2, -1, "empty session name"},
 	}
 	for _, tc := range cases {
-		c, err := Dial(addr)
+		c, err := testDial(addr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +178,7 @@ func TestJoinRefusals(t *testing.T) {
 	// The full-session refusal.
 	c1 := dialJoin(t, addr, "refuse", 2, -1)
 	defer c1.Close()
-	c, err := Dial(addr)
+	c, err := testDial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +247,7 @@ func TestDisconnectPoisons(t *testing.T) {
 	}
 
 	// The poisoned session retired, so its name is immediately reusable.
-	c, err := Dial(addr)
+	c, err := testDial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +348,7 @@ func TestReplanAcceptance(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			res := &results[i]
-			c, err := Dial(addr)
+			c, err := testDial(addr)
 			if err != nil {
 				res.err = err
 				return
@@ -407,4 +436,57 @@ func TestAwaitCtxCancel(t *testing.T) {
 			t.Fatal("peer of a departed participant completed an episode without it")
 		}
 	}
+}
+
+// TestClientPoisonCarriesIdentity pins the member-initiated poison path:
+// Client.Poison's cause must come out of the other members' waits with
+// errors.Is/As identity intact — a sentinel stays Is-able, a *StallError
+// stays As-able with its fields. (Regression: the server once treated a
+// member's Poison frame as a protocol violation, destroying the cause.)
+func TestClientPoisonCarriesIdentity(t *testing.T) {
+	addr, _ := startServer(t, Options{Watchdog: 30 * time.Second})
+
+	t.Run("sentinel", func(t *testing.T) {
+		a := dialJoin(t, addr, "poison-is", 2, 0)
+		defer a.Close()
+		b := dialJoin(t, addr, "poison-is", 2, 1)
+		defer b.Close()
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := b.Wait()
+			errCh <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		if err := a.Poison(context.Canceled); err != nil {
+			t.Fatalf("poison: %v", err)
+		}
+		if err := <-errCh; !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter got %v; want errors.Is(err, context.Canceled)", err)
+		}
+	})
+
+	t.Run("stall-error", func(t *testing.T) {
+		a := dialJoin(t, addr, "poison-as", 2, 0)
+		defer a.Close()
+		b := dialJoin(t, addr, "poison-as", 2, 1)
+		defer b.Close()
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := b.Wait()
+			errCh <- err
+		}()
+		time.Sleep(10 * time.Millisecond)
+		cause := &softbarrier.StallError{Missing: []int{3, 7}, Waited: 42 * time.Second}
+		if err := a.Poison(cause); err != nil {
+			t.Fatalf("poison: %v", err)
+		}
+		err := <-errCh
+		var stall *softbarrier.StallError
+		if !errors.As(err, &stall) {
+			t.Fatalf("waiter got %v; want an errors.As-able *StallError", err)
+		}
+		if len(stall.Missing) != 2 || stall.Missing[0] != 3 || stall.Missing[1] != 7 || stall.Waited != 42*time.Second {
+			t.Fatalf("StallError lost fields in transit: %+v", stall)
+		}
+	})
 }

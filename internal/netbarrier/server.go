@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"softbarrier"
+	"softbarrier/internal/wire"
 )
 
 // ErrServerClosed is the poison cause members receive when the server is
@@ -137,6 +138,17 @@ type Options struct {
 	// Logf, when non-nil, receives one line per session lifecycle event
 	// (join, re-plan, poison, retire).
 	Logf func(format string, args ...any)
+	// Transport supplies the listener ListenAndServe binds. Nil selects
+	// wire.DefaultTCP (keepalive armed, Nagle off); tests and chaos runs
+	// pass an in-process memnet. Serve(ln) callers bypass it entirely.
+	Transport wire.Transport
+}
+
+func (o *Options) transport() wire.Transport {
+	if o.Transport != nil {
+		return o.Transport
+	}
+	return wire.DefaultTCP
 }
 
 func (o *Options) writeTimeout() time.Duration {
@@ -190,9 +202,10 @@ func NewServer(opt Options) *Server {
 	}
 }
 
-// ListenAndServe listens on addr and serves until Close.
+// ListenAndServe listens on addr through the configured transport and
+// serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	ln, err := s.opt.transport().Listen(addr)
 	if err != nil {
 		return err
 	}
@@ -480,7 +493,10 @@ func (s *Server) handle(conn net.Conn) {
 		s.wg.Done()
 	}()
 	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true) // arrive/release frames are latency-bound, not throughput-bound
+		// wire.TCP listeners tune accepted sockets themselves; this covers
+		// Serve(ln) callers handing the server a raw TCP listener. Frames
+		// are latency-bound, not throughput-bound.
+		tc.SetNoDelay(true)
 	}
 	br := bufio.NewReader(conn)
 
@@ -537,6 +553,12 @@ func (s *Server) handle(conn net.Conn) {
 			// A shard handing up its local poison cause: fail the whole
 			// fleet session with the original error, identity intact.
 			sess.poison(fmt.Errorf("netbarrier: shard %d poisoned: %w", c.id.Load(), softbarrier.DecodePoisonCause(f.Cause)))
+			return
+		case f.Type == TypePoison:
+			// A member aborting the session with a cause (Client.Poison):
+			// wrap with %w so errors.Is/As identity survives the fan-out —
+			// and, on a leaf, the trip through the root to other shards.
+			sess.poison(fmt.Errorf("netbarrier: member %d poisoned the session: %w", c.id.Load(), softbarrier.DecodePoisonCause(f.Cause)))
 			return
 		case f.Type == TypeLeave:
 			sess.leave(c)

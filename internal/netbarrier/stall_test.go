@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"softbarrier/internal/wire"
 )
 
 // stallConn wraps a server-side connection so a test can freeze its write
@@ -82,10 +84,17 @@ func (l *stallListener) connFor(addr string) *stallConn {
 	return nil
 }
 
-// startStallServer is startServer over a stallListener.
+// startStallServer is startServer over a stallListener, on the in-process
+// test network. The TCP variant below keeps one stall scenario on real
+// sockets.
 func startStallServer(t *testing.T, opt Options) (addr string, ln *stallListener) {
 	t.Helper()
-	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	return startStallServerOn(t, testNet, "mem:0", opt)
+}
+
+func startStallServerOn(t *testing.T, tr wire.Transport, bind string, opt Options) (addr string, ln *stallListener) {
+	t.Helper()
+	raw, err := tr.Listen(bind)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +149,7 @@ func TestStalledSocketReleaseFanOut(t *testing.T) {
 	}
 	wg.Wait()
 
-	sc := ln.connFor(victim.conn.LocalAddr().String())
+	sc := ln.connFor(victim.LocalAddr().String())
 	if sc == nil {
 		t.Fatal("no server-side conn for the victim client")
 	}
@@ -217,7 +226,7 @@ func TestPoisonedPendingJoinerFailsFast(t *testing.T) {
 	a := dialJoin(t, addr, "pend", 1, -1)
 	defer a.Close()
 
-	pc, err := Dial(addr)
+	pc, err := testDial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +239,7 @@ func TestPoisonedPendingJoinerFailsFast(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	var sc *stallConn
 	for time.Now().Before(deadline) {
-		if sc = ln.connFor(pc.conn.LocalAddr().String()); sc != nil {
+		if sc = ln.connFor(pc.LocalAddr().String()); sc != nil {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -270,10 +279,13 @@ func TestPoisonedPendingJoinerFailsFast(t *testing.T) {
 // TestStalledSocketPoisonCause checks the stalled member itself: once its
 // write deadline expires the session poisons with an "unreachable" cause,
 // and the stalled member — whose socket only ever froze server-side
-// writes — sees the connection die rather than a clean release.
+// writes — sees the connection die rather than a clean release. It is the
+// stall suite's TCP smoke: the same scenario the memnet tests above run,
+// on real loopback sockets.
 func TestStalledSocketPoisonCause(t *testing.T) {
 	const p = 2
-	addr, ln := startStallServer(t, Options{WriteTimeout: 500 * time.Millisecond, Watchdog: 30 * time.Second})
+	addr, ln := startStallServerOn(t, wire.DefaultTCP, "127.0.0.1:0",
+		Options{WriteTimeout: 500 * time.Millisecond, Watchdog: 30 * time.Second})
 	victim := dialJoin(t, addr, "cause", p, 0)
 	defer victim.Close()
 	peer := dialJoin(t, addr, "cause", p, 1)
@@ -291,7 +303,7 @@ func TestStalledSocketPoisonCause(t *testing.T) {
 	}
 	wg.Wait()
 
-	sc := ln.connFor(victim.conn.LocalAddr().String())
+	sc := ln.connFor(victim.LocalAddr().String())
 	if sc == nil {
 		t.Fatal("no server-side conn for the victim client")
 	}

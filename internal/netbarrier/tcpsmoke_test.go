@@ -1,0 +1,154 @@
+package netbarrier
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"softbarrier"
+)
+
+// The protocol-logic suites run on wire/memnet; the smokes in this file
+// keep one scenario per suite on real loopback TCP so a regression in the
+// production transport path (socket options, kernel deadline behaviour,
+// partial writes) cannot hide behind the in-process pipes. The stall
+// suite's TCP smoke is TestStalledSocketPoisonCause; the zero-alloc gates
+// and benchmarks are TCP throughout.
+
+// TestTCPSmokeSession: one multi-episode session and one disconnect
+// poison over real sockets.
+func TestTCPSmokeSession(t *testing.T) {
+	addr, _ := startTCPServer(t, Options{Watchdog: 10 * time.Second})
+	const p = 3
+
+	clients := make([]*Client, p)
+	for i := range clients {
+		clients[i] = dialJoin(t, addr, "tcp-smoke", p, i)
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for ep := 0; ep < 3; ep++ {
+		for i, c := range clients {
+			wg.Add(1)
+			go func(i int, c *Client) {
+				defer wg.Done()
+				r, err := c.Wait()
+				if err != nil {
+					t.Errorf("client %d episode %d: %v", i, ep, err)
+				} else if r.Episode != uint64(ep) {
+					t.Errorf("client %d: released as episode %d, want %d", i, r.Episode, ep)
+				}
+			}(i, c)
+		}
+		wg.Wait()
+	}
+
+	// Kill one member mid-episode; the rest must see the disconnect poison.
+	errsCh := make(chan error, p-1)
+	for _, c := range clients[:p-1] {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			_, err := c.Wait()
+			errsCh <- err
+		}(c)
+	}
+	time.Sleep(20 * time.Millisecond)
+	clients[p-1].Close()
+	wg.Wait()
+	close(errsCh)
+	for err := range errsCh {
+		if err == nil || !strings.Contains(err.Error(), "disconnected") {
+			t.Errorf("poison cause = %v; want the disconnect named", err)
+		}
+	}
+}
+
+// TestTCPSmokeElastic: a late joiner admitted at an episode boundary over
+// real sockets.
+func TestTCPSmokeElastic(t *testing.T) {
+	const session = "tcp-smoke-elastic"
+	addr, srv := startTCPServer(t, Options{Elastic: true, Watchdog: 10 * time.Second})
+
+	a := dialJoin(t, addr, session, 2, -1)
+	defer a.Close()
+	b := dialJoin(t, addr, session, 2, -1)
+	defer b.Close()
+
+	joinErr := make(chan error, 1)
+	var late *Client
+	go func() {
+		c, err := testDial(addr)
+		if err == nil {
+			err = c.Join(session, 2)
+		}
+		late = c
+		joinErr <- err
+	}()
+	waitFor := time.Now().Add(10 * time.Second)
+	for {
+		if st, ok := srv.SessionStats(session); ok && st.Pending == 1 {
+			break
+		}
+		if time.Now().After(waitFor) {
+			t.Fatal("late joiner never parked as pending")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	var wg sync.WaitGroup
+	for _, c := range []*Client{a, b} {
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			if _, err := c.Wait(); err != nil {
+				t.Errorf("founding member: %v", err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := <-joinErr; err != nil {
+		t.Fatalf("late join: %v", err)
+	}
+	defer late.Close()
+	if got := late.Participants(); got != 3 {
+		t.Errorf("late joiner sees p = %d, want 3", got)
+	}
+}
+
+// TestTCPSmokeAllReduce: one collective episode with a ledger check over
+// real sockets.
+func TestTCPSmokeAllReduce(t *testing.T) {
+	const p = 4
+	op, _ := softbarrier.OpByName("sum-f64")
+	addr, _ := startTCPServer(t, Options{Watchdog: 10 * time.Second, Op: opPtr(op)})
+
+	want := 0.0
+	for i := 0; i < p; i++ {
+		want += float64(i + 1)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := dialJoin(t, addr, "tcp-smoke-ar", p, i)
+			defer c.Leave()
+			res, err := c.AllReduce(f64bytes(float64(i + 1)))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			if got := bytesF64(res); got != want {
+				t.Errorf("client %d: AllReduce = %v, want %v", i, got, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -48,7 +48,7 @@ func TestHierarchicalAcceptance(t *testing.T) {
 			defer wg.Done()
 			res := &results[i]
 			leaf := leafFor(i, p, leaves)
-			c, err := netbarrier.Dial(addrs[leaf])
+			c, err := testDial(addrs[leaf])
 			if err != nil {
 				res.err = err
 				return
@@ -177,7 +177,7 @@ func BenchmarkHierarchical(b *testing.B) {
 	} {
 		b.Run(fmt.Sprintf("%dleaves/%dclients", tc.leaves, tc.clients), func(b *testing.B) {
 			b.ReportAllocs()
-			f := startFleet(b, FleetOptions{
+			f := startTCPFleet(b, FleetOptions{
 				Leaves: tc.leaves,
 				Net:    netbarrier.Options{Watchdog: 60 * time.Second},
 			})

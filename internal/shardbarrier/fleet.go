@@ -2,10 +2,10 @@ package shardbarrier
 
 import (
 	"fmt"
-	"net"
 	"time"
 
 	"softbarrier/internal/netbarrier"
+	"softbarrier/internal/wire"
 )
 
 // FleetOptions configures StartFleet.
@@ -23,11 +23,30 @@ type FleetOptions struct {
 	Net netbarrier.Options
 	// RootNet, when non-nil, overrides the root server's options.
 	RootNet *netbarrier.Options
+	// Transport is the network the whole fleet runs over — the root and
+	// leaf listeners, and the leaf→root links. Nil selects Net.Transport,
+	// then loopback TCP; an in-process fleet (tests, chaos runs) passes a
+	// memnet or a chaos wrapper and every hop follows.
+	Transport wire.Transport
+	// Bind is the listen address pattern for the root and every leaf;
+	// empty selects "127.0.0.1:0" (ephemeral loopback ports). A memnet
+	// fleet passes "mem:0" so its addresses carry the mem: scheme.
+	Bind string
 	// DialTimeout/DialAttempts/DialBackoff tune the leaf→root links (see
 	// LeafOptions).
 	DialTimeout  time.Duration
 	DialAttempts int
 	DialBackoff  time.Duration
+}
+
+func (o *FleetOptions) transport() wire.Transport {
+	if o.Transport != nil {
+		return o.Transport
+	}
+	if o.Net.Transport != nil {
+		return o.Net.Transport
+	}
+	return wire.DefaultTCP
 }
 
 // Fleet is an in-process hierarchical deployment — one root barrierd and
@@ -63,18 +82,23 @@ func StartFleet(opt FleetOptions) (*Fleet, error) {
 		rootOpt = *opt.RootNet
 	}
 	rootOpt.Upstream = nil
+	tr := opt.transport()
+	bind := opt.Bind
+	if bind == "" {
+		bind = "127.0.0.1:0"
+	}
 	f := &Fleet{Root: netbarrier.NewServer(rootOpt), span: span}
-	rootLn, err := net.Listen("tcp", "127.0.0.1:0")
+	rootLn, err := tr.Listen(bind)
 	if err != nil {
 		return nil, err
 	}
 	f.rootAddr = rootLn.Addr().String()
 	go f.Root.Serve(rootLn)
 
-	lns := make([]net.Listener, n)
+	lns := make([]wire.Listener, n)
 	f.leafAddrs = make([]string, n)
 	for i := range lns {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		ln, err := tr.Listen(bind)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -90,6 +114,7 @@ func StartFleet(opt FleetOptions) (*Fleet, error) {
 			Index:        i,
 			Shards:       span,
 			SessionSlot:  f.slotFor(i),
+			Transport:    tr,
 			DialTimeout:  opt.DialTimeout,
 			DialAttempts: opt.DialAttempts,
 			DialBackoff:  opt.DialBackoff,

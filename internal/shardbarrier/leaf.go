@@ -1,15 +1,14 @@
 package shardbarrier
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
-	"net"
 	"sync"
 	"time"
 
 	"softbarrier"
 	"softbarrier/internal/netbarrier"
+	"softbarrier/internal/wire"
 )
 
 // ErrLeafClosed is the cause sessions receive when their leaf shuts down.
@@ -38,6 +37,12 @@ type LeafOptions struct {
 	// wrong leaf is then refused with a placement error instead of
 	// corrupting another shard's slot. Fleet wires this to Ring.Span.
 	SessionSlot func(session string) (shards, id int)
+	// Transport is the network both sides of the leaf run over: the local
+	// listener ListenAndServe binds and the dialer the leaf→root links use.
+	// Nil selects Net.Transport, then wire.DefaultTCP — so a fleet on an
+	// in-process memnet (or under a chaos wrapper) configures one transport
+	// and every hop follows.
+	Transport wire.Transport
 	// DialTimeout bounds each connection attempt to the root; 0 selects 5s.
 	DialTimeout time.Duration
 	// DialAttempts is how many times a failed root dial is retried before
@@ -48,6 +53,16 @@ type LeafOptions struct {
 	DialBackoff time.Duration
 	// WriteTimeout bounds each frame write on the root link; 0 selects 10s.
 	WriteTimeout time.Duration
+}
+
+func (o *LeafOptions) transport() wire.Transport {
+	if o.Transport != nil {
+		return o.Transport
+	}
+	if o.Net.Transport != nil {
+		return o.Net.Transport
+	}
+	return wire.DefaultTCP
 }
 
 func (o *LeafOptions) dialTimeout() time.Duration {
@@ -109,6 +124,9 @@ type Leaf struct {
 func NewLeaf(opt LeafOptions) *Leaf {
 	l := &Leaf{opt: opt, links: make(map[string]*link)}
 	l.opt.Net.Upstream = l
+	if l.opt.Net.Transport == nil {
+		l.opt.Net.Transport = l.opt.transport()
+	}
 	l.srv = netbarrier.NewServer(l.opt.Net)
 	return l
 }
@@ -117,9 +135,10 @@ func NewLeaf(opt LeafOptions) *Leaf {
 // and session inspection).
 func (l *Leaf) Server() *netbarrier.Server { return l.srv }
 
-// ListenAndServe listens on addr and serves local clients until Close.
+// ListenAndServe listens on addr through the leaf's transport and serves
+// local clients until Close.
 func (l *Leaf) ListenAndServe(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	ln, err := l.opt.transport().Listen(addr)
 	if err != nil {
 		return err
 	}
@@ -128,7 +147,7 @@ func (l *Leaf) ListenAndServe(addr string) error {
 
 // Serve accepts local client connections on ln until Close and blocks for
 // the duration.
-func (l *Leaf) Serve(ln net.Listener) error { return l.srv.Serve(ln) }
+func (l *Leaf) Serve(ln wire.Listener) error { return l.srv.Serve(ln) }
 
 // Close shuts the leaf down: local sessions are poisoned (their causes
 // travel both down to local clients and up to the root, so the rest of
@@ -226,8 +245,9 @@ func (l *Leaf) drop(lk *link) {
 //
 // Concurrency: the session's releaser goroutine writes (arrive, leave,
 // poison) and the link's reader goroutine completes (release, poison from
-// the root); mu guards the write path, the episode counter, and the
-// pending slot. The reader owns the read buffer exclusively.
+// the root); mu guards the write half of fc, the episode counter, and the
+// pending slot; the reader goroutine owns the read half exclusively —
+// exactly the two-halves split wire.FrameConn is documented for.
 type link struct {
 	leaf *Leaf
 	name string
@@ -235,11 +255,9 @@ type link struct {
 	ready   sync.Once
 	joinErr error
 
-	conn net.Conn
-	bw   *bufio.Writer
+	fc *wire.FrameConn
 
 	mu      sync.Mutex
-	wbuf    []byte // frame-encode scratch, reused per episode
 	episode uint64
 	pending func(netbarrier.ShardOutcome)
 	closing bool // graceful leave deferred past the in-flight episode
@@ -248,51 +266,42 @@ type link struct {
 	resBuf []byte // reader-owned: the fleet result handed to pending
 }
 
-// dial connects to the root and performs the ShardJoin handshake.
+// dial connects to the root through the leaf's transport and performs the
+// ShardJoin handshake.
 func (lk *link) dial() error {
 	opt := &lk.leaf.opt
 	shards, id := opt.slot(lk.name)
 	if id < 0 {
 		return fmt.Errorf("shardbarrier: session %q is not placed on this leaf (consistent-hash placement routes it elsewhere)", lk.name)
 	}
-	conn, err := netbarrier.RedialConn(opt.Root, opt.dialTimeout(), opt.dialAttempts(), opt.dialBackoff())
+	conn, err := wire.Redial(opt.transport(), opt.Root, opt.dialTimeout(), opt.dialAttempts(), opt.dialBackoff())
 	if err != nil {
 		return fmt.Errorf("shardbarrier: session %q cannot reach root: %w", lk.name, err)
 	}
-	bw := bufio.NewWriter(conn)
-	buf, err := netbarrier.AppendFrame(nil, netbarrier.Frame{Type: netbarrier.TypeShardJoin, Name: lk.name, P: shards, ID: id})
-	if err == nil {
-		conn.SetWriteDeadline(time.Now().Add(opt.writeTimeout()))
-		if _, werr := bw.Write(buf); werr != nil {
-			err = werr
-		} else {
-			err = bw.Flush()
-		}
-	}
+	fc := wire.NewFrameConn(conn)
+	err = fc.WriteFrameTimeout(netbarrier.Frame{Type: netbarrier.TypeShardJoin, Name: lk.name, P: shards, ID: id}, opt.writeTimeout())
 	if err != nil {
-		conn.Close()
+		fc.Close()
 		return fmt.Errorf("shardbarrier: session %q shard-join write failed: %w", lk.name, err)
 	}
-	br := bufio.NewReader(conn)
-	conn.SetReadDeadline(time.Now().Add(opt.dialTimeout() + opt.writeTimeout()))
-	resp, err := netbarrier.ReadFrameInto(br, &lk.resBuf)
+	fc.SetReadDeadline(time.Now().Add(opt.dialTimeout() + opt.writeTimeout()))
+	resp, err := fc.ReadFrame()
 	switch {
 	case err != nil:
-		conn.Close()
+		fc.Close()
 		return fmt.Errorf("shardbarrier: session %q shard-join failed: %w", lk.name, err)
 	case resp.Type != netbarrier.TypeJoinResp:
-		conn.Close()
+		fc.Close()
 		return fmt.Errorf("shardbarrier: session %q shard-join answered with %s", lk.name, netbarrier.FrameName(resp.Type))
 	case resp.Err != "":
-		conn.Close()
+		fc.Close()
 		return fmt.Errorf("shardbarrier: session %q shard-join refused by root: %s", lk.name, resp.Err)
 	}
-	conn.SetReadDeadline(time.Time{})
-	conn.SetWriteDeadline(time.Time{})
-	lk.conn = conn
-	lk.bw = bw
+	fc.SetReadDeadline(time.Time{})
+	fc.SetWriteDeadline(time.Time{})
+	lk.fc = fc
 	lk.episode = resp.Episode
-	go lk.read(br)
+	go lk.read()
 	return nil
 }
 
@@ -315,7 +324,7 @@ func (lk *link) arrive(localP int, spread, sigma float64, data []byte, done func
 		lk.pending = nil
 		lk.dead = true
 		lk.mu.Unlock()
-		lk.conn.Close()
+		lk.fc.Close()
 		lk.leaf.drop(lk)
 		done(netbarrier.ShardOutcome{Err: fmt.Errorf("shardbarrier: session %q lost root link: %w", lk.name, err)})
 		return
@@ -329,10 +338,9 @@ func (lk *link) arrive(localP int, spread, sigma float64, data []byte, done func
 // outstanding poisons the local session directly (PoisonSession): the
 // root died between episodes, and local clients must not hang until the
 // next arrival discovers it.
-func (lk *link) read(br *bufio.Reader) {
-	var rbuf []byte
+func (lk *link) read() {
 	for {
-		f, err := netbarrier.ReadFrameInto(br, &rbuf)
+		f, err := lk.fc.ReadFrame()
 		if err != nil {
 			lk.fail(fmt.Errorf("shardbarrier: session %q root link failed: %w", lk.name, err))
 			return
@@ -382,7 +390,7 @@ func (lk *link) fail(cause error) {
 	done := lk.pending
 	lk.pending = nil
 	lk.mu.Unlock()
-	lk.conn.Close()
+	lk.fc.Close()
 	lk.leaf.drop(lk)
 	if done != nil {
 		done(netbarrier.ShardOutcome{Err: cause})
@@ -397,7 +405,7 @@ func (lk *link) fail(cause error) {
 // why. Idempotent; safe on a link whose handshake never completed.
 func (lk *link) poison(cause error) {
 	lk.mu.Lock()
-	if lk.dead || lk.conn == nil {
+	if lk.dead || lk.fc == nil {
 		lk.dead = true
 		lk.pending = nil
 		lk.mu.Unlock()
@@ -407,7 +415,7 @@ func (lk *link) poison(cause error) {
 	lk.pending = nil // the local session already has its cause
 	lk.writeLocked(netbarrier.Frame{Type: netbarrier.TypePoison, Cause: softbarrier.EncodePoisonCause(nil, cause)})
 	lk.mu.Unlock()
-	lk.conn.Close()
+	lk.fc.Close()
 	lk.leaf.drop(lk)
 }
 
@@ -417,7 +425,7 @@ func (lk *link) poison(cause error) {
 // the root's arrival accounting exact.
 func (lk *link) leave() {
 	lk.mu.Lock()
-	if lk.dead || lk.conn == nil {
+	if lk.dead || lk.fc == nil {
 		lk.dead = true
 		lk.mu.Unlock()
 		return
@@ -430,7 +438,7 @@ func (lk *link) leave() {
 	lk.dead = true
 	lk.writeLocked(netbarrier.Frame{Type: netbarrier.TypeLeave})
 	lk.mu.Unlock()
-	lk.conn.Close()
+	lk.fc.Close()
 	lk.leaf.drop(lk)
 }
 
@@ -441,21 +449,12 @@ func (lk *link) shutdown(f netbarrier.Frame) {
 	lk.dead = true
 	lk.writeLocked(f)
 	lk.mu.Unlock()
-	lk.conn.Close()
+	lk.fc.Close()
 	lk.leaf.drop(lk)
 }
 
-// writeLocked encodes and flushes one frame under lk.mu, bounded by the
-// leaf's write timeout.
+// writeLocked sends one frame on the write half under lk.mu, bounded by
+// the leaf's write timeout.
 func (lk *link) writeLocked(f netbarrier.Frame) error {
-	buf, err := netbarrier.AppendFrame(lk.wbuf[:0], f)
-	if err != nil {
-		return err
-	}
-	lk.wbuf = buf
-	lk.conn.SetWriteDeadline(time.Now().Add(lk.leaf.opt.writeTimeout()))
-	if _, err := lk.bw.Write(buf); err != nil {
-		return err
-	}
-	return lk.bw.Flush()
+	return lk.fc.WriteFrameTimeout(f, lk.leaf.opt.writeTimeout())
 }

@@ -12,11 +12,23 @@ import (
 
 	"softbarrier"
 	"softbarrier/internal/netbarrier"
+	"softbarrier/internal/wire"
+	"softbarrier/internal/wire/memnet"
 )
 
-// startFleet launches an in-process fleet torn down with the test.
+// testNet is the in-process network the protocol-logic tests run on; the
+// TCP smoke (TestTCPSmokeHierarchicalEpisodes) keeps one fleet on real
+// loopback sockets.
+var testNet = memnet.New()
+
+// startFleet launches an in-process fleet on the test memnet, torn down
+// with the test.
 func startFleet(t testing.TB, opt FleetOptions) *Fleet {
 	t.Helper()
+	if opt.Transport == nil {
+		opt.Transport = testNet
+		opt.Bind = "mem:0"
+	}
 	f, err := StartFleet(opt)
 	if err != nil {
 		t.Fatal(err)
@@ -25,10 +37,28 @@ func startFleet(t testing.TB, opt FleetOptions) *Fleet {
 	return f
 }
 
+// startTCPFleet is startFleet on real loopback sockets — the production
+// transport, for the TCP smoke and the benchmarks.
+func startTCPFleet(t testing.TB, opt FleetOptions) *Fleet {
+	t.Helper()
+	opt.Transport = wire.DefaultTCP
+	opt.Bind = "127.0.0.1:0"
+	return startFleet(t, opt)
+}
+
+// testDial routes an address to the transport that owns it: testNet for
+// memnet addresses, TCP otherwise.
+func testDial(addr string) (*netbarrier.Client, error) {
+	if strings.HasPrefix(addr, "mem:") {
+		return netbarrier.DialVia(testNet, addr, 5*time.Second)
+	}
+	return netbarrier.DialTimeout(addr, 5*time.Second)
+}
+
 // dialJoin connects a client to addr and joins, failing the test on error.
 func dialJoin(t testing.TB, addr, session string, p, id int) *netbarrier.Client {
 	t.Helper()
-	c, err := netbarrier.Dial(addr)
+	c, err := testDial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +257,7 @@ func TestHierarchicalAllReduceDifferential(t *testing.T) {
 		return dialJoin(t, addrs[leafFor(i, p, leaves)], "diff", p/leaves, -1)
 	})
 
-	flatAddr, flatSrv := startFlatServer(t, netbarrier.Options{Watchdog: 10 * time.Second, Op: &op})
+	flatAddr, flatSrv := startFlatServer(t, testNet, "mem:0", netbarrier.Options{Watchdog: 10 * time.Second, Op: &op})
 	_ = flatSrv
 	flat := run(func(i int) *netbarrier.Client {
 		return dialJoin(t, flatAddr, "diff", p, -1)
@@ -242,9 +272,9 @@ func TestHierarchicalAllReduceDifferential(t *testing.T) {
 
 // startFlatServer runs a standalone netbarrier server for differential
 // comparison.
-func startFlatServer(t testing.TB, opt netbarrier.Options) (string, *netbarrier.Server) {
+func startFlatServer(t testing.TB, tr wire.Transport, bind string, opt netbarrier.Options) (string, *netbarrier.Server) {
 	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := tr.Listen(bind)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,7 +490,7 @@ func TestMisroutedClientRefused(t *testing.T) {
 // the satellite's fail-fast contract for mixed-revision fleets, checked
 // end-to-end over a real socket.
 func TestVersionMismatchRefusedByRoot(t *testing.T) {
-	addr, _ := startFlatServer(t, netbarrier.Options{})
+	addr, _ := startFlatServer(t, wire.DefaultTCP, "127.0.0.1:0", netbarrier.Options{})
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
@@ -481,5 +511,45 @@ func TestVersionMismatchRefusedByRoot(t *testing.T) {
 	}
 	if resp.Type != netbarrier.TypeJoinResp || !strings.Contains(resp.Err, "version mismatch") {
 		t.Fatalf("got %s %q, want a version-mismatch refusal", netbarrier.FrameName(resp.Type), resp.Err)
+	}
+}
+
+// TestTCPSmokeHierarchicalEpisodes keeps one hierarchical scenario on real
+// loopback sockets now that the protocol-logic tests run on memnet: a
+// 2-leaf fleet, a handful of fleet-wide episodes, totally ordered.
+func TestTCPSmokeHierarchicalEpisodes(t *testing.T) {
+	const leaves, p, episodes = 2, 4, 5
+	f := startTCPFleet(t, FleetOptions{
+		Leaves: leaves,
+		Net:    netbarrier.Options{Watchdog: 10 * time.Second},
+	})
+	addrs := f.LeafAddrs()
+
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := dialJoin(t, addrs[leafFor(i, p, leaves)], "tcp-smoke", p/leaves, -1)
+			defer c.Leave()
+			for ep := 0; ep < episodes; ep++ {
+				r, err := c.Wait()
+				if err != nil {
+					errs[i] = fmt.Errorf("episode %d: %w", ep, err)
+					return
+				}
+				if r.Episode != uint64(ep) {
+					errs[i] = fmt.Errorf("episode %d released as %d", ep, r.Episode)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
 	}
 }

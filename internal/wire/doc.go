@@ -1,0 +1,36 @@
+// Package wire is the transport layer under the networked barrier stack:
+// the frame codec the peers speak, the transport abstraction they speak it
+// over, and the shared per-connection frame I/O machinery.
+//
+// The package splits into three layers:
+//
+//   - The frame codec (frame.go): eleven length-prefixed binary frame
+//     types covering the whole session lifecycle — join handshakes
+//     (version-checked), per-episode arrivals and releases, collective
+//     payloads, poison causes, and the inter-shard dialect a leaf barrierd
+//     speaks to its root. AppendFrame/DecodeFrame are total and
+//     fuzz-tested; ReadFrameInto is the zero-allocation steady-state read
+//     path every connection runs on.
+//
+//   - The transport abstraction (transport.go): Conn and Listener are
+//     plain net.Conn/net.Listener — deadlines included, which the
+//     watchdog, stall, and cancellation machinery all lean on — and
+//     Dialer/Transport abstract how connections are made. TCP is the
+//     production transport (Nagle disabled, OS keepalive armed, both
+//     configurable); Redial wraps any Dialer with the bounded
+//     backoff-retry loop fleet bringup needs. The in-process memnet
+//     transport and the fault-injecting chaos wrapper live in the
+//     subpackages wire/memnet and wire/chaos.
+//
+//   - FrameConn (framec.go): one peer's framed view of a Conn — buffered
+//     reader/writer plus reusable encode/decode scratch, so the
+//     steady-state read and write paths allocate nothing. It is the I/O
+//     core shared by the netbarrier client and the shardbarrier leaf→root
+//     link, which previously each carried a copy of it.
+//
+// Everything above this package — netbarrier's client and server,
+// shardbarrier's leaves and root links, cmd/barrierd — is written against
+// Dialer/Transport/Conn, so a test (or a chaos run) swaps the whole stack
+// onto an in-process or fault-injecting network by passing a different
+// Transport; no consumer knows the difference.
+package wire

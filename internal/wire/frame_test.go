@@ -1,4 +1,4 @@
-package netbarrier
+package wire
 
 import (
 	"bytes"

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bufio"
+	"time"
+)
+
+// FrameConn is one peer's framed view of a Conn: buffered reader and
+// writer plus the reusable encode/decode scratch that makes the
+// steady-state read and write paths allocation-free. It is the I/O core
+// shared by the netbarrier client and the shardbarrier leaf→root link.
+//
+// A FrameConn is not one lock's worth of state but two independent
+// halves. The read half (ReadFrame, SetReadDeadline) and the write half
+// (WriteFrame and friends) share no buffers, so one goroutine may own
+// each half — the leaf link runs exactly that split, its reader
+// completing episodes while the session's releaser writes. Neither half
+// tolerates two concurrent users; callers serialize per half.
+type FrameConn struct {
+	conn Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	rbuf []byte // reusable frame-body buffer (read half)
+	wbuf []byte // reusable frame-encode scratch (write half)
+}
+
+// NewFrameConn wraps an established connection.
+func NewFrameConn(conn Conn) *FrameConn {
+	return &FrameConn{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Conn returns the underlying connection.
+func (fc *FrameConn) Conn() Conn { return fc.conn }
+
+// ReadFrame reads and decodes the next frame. The returned frame's
+// reference fields (Data, Cause) alias the connection's reusable buffer
+// and are valid only until the next ReadFrame; retain by copying.
+func (fc *FrameConn) ReadFrame() (Frame, error) {
+	return ReadFrameInto(fc.br, &fc.rbuf)
+}
+
+// WriteFrame encodes f into the reusable scratch and sends it with a
+// single flush — zero allocations on the steady-state arrive path.
+func (fc *FrameConn) WriteFrame(f Frame) error {
+	buf, err := AppendFrame(fc.wbuf[:0], f)
+	if err != nil {
+		return err
+	}
+	fc.wbuf = buf
+	if _, err := fc.bw.Write(buf); err != nil {
+		return err
+	}
+	return fc.bw.Flush()
+}
+
+// WriteFrameTimeout is WriteFrame with the write bounded by d (0 = no
+// bound). The deadline stays armed afterwards; callers that interleave
+// bounded and unbounded writes clear it with SetWriteDeadline.
+func (fc *FrameConn) WriteFrameTimeout(f Frame, d time.Duration) error {
+	if d > 0 {
+		fc.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	return fc.WriteFrame(f)
+}
+
+// SetReadDeadline bounds the read half: a deadline in the past unblocks a
+// pending ReadFrame, which is how context-cancelled waits abandon the
+// connection.
+func (fc *FrameConn) SetReadDeadline(t time.Time) error { return fc.conn.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds the write half.
+func (fc *FrameConn) SetWriteDeadline(t time.Time) error { return fc.conn.SetWriteDeadline(t) }
+
+// Close closes the underlying connection; pending reads and writes on
+// both halves fail.
+func (fc *FrameConn) Close() error { return fc.conn.Close() }
